@@ -1,0 +1,309 @@
+// Package cache implements the set-associative cache model used for the L0,
+// L1 instruction, L1 data and unified L2 caches of the simulator.
+//
+// The model tracks only tags (the simulator never needs data contents),
+// true-LRU replacement per set, and the timing aspects the paper depends on:
+// a fixed hit latency, optional pipelining (a pipelined cache accepts a new
+// access every cycle, a non-pipelined one is busy for its full latency), and
+// a bounded number of ports per cycle.
+package cache
+
+import (
+	"fmt"
+
+	"clgp/internal/isa"
+)
+
+// Config describes one cache structure.
+type Config struct {
+	// Name is used in error messages and reports.
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the line (block) size.
+	LineBytes int
+	// Assoc is the set associativity. An Assoc <= 0 or an Assoc implying a
+	// single set produces a fully-associative cache.
+	Assoc int
+	// Latency is the hit latency in cycles (>= 1).
+	Latency int
+	// Pipelined selects pipelined access: a new access can start every
+	// cycle, each still taking Latency cycles to complete.
+	Pipelined bool
+	// Ports is the number of accesses that may start in the same cycle
+	// (default 1).
+	Ports int
+}
+
+// normalise fills defaults and validates.
+func (c Config) normalise() (Config, error) {
+	if c.SizeBytes <= 0 {
+		return c, fmt.Errorf("cache %s: size must be positive, got %d", c.Name, c.SizeBytes)
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return c, fmt.Errorf("cache %s: line size must be a positive power of two, got %d", c.Name, c.LineBytes)
+	}
+	if c.SizeBytes%c.LineBytes != 0 {
+		return c, fmt.Errorf("cache %s: size %d not a multiple of line size %d", c.Name, c.SizeBytes, c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if c.Assoc <= 0 || c.Assoc > lines {
+		c.Assoc = lines // fully associative
+	}
+	if lines%c.Assoc != 0 {
+		return c, fmt.Errorf("cache %s: %d lines not divisible by associativity %d", c.Name, lines, c.Assoc)
+	}
+	if c.Latency < 1 {
+		c.Latency = 1
+	}
+	if c.Ports < 1 {
+		c.Ports = 1
+	}
+	return c, nil
+}
+
+// way is one cache way within a set.
+type way struct {
+	valid bool
+	tag   isa.Addr
+	lru   uint64 // last-use stamp; higher is more recent
+}
+
+// Cache is a set-associative, true-LRU, tag-only cache model.
+type Cache struct {
+	cfg     Config
+	sets    [][]way
+	numSets int
+	stamp   uint64
+	// Timing state.
+	busyUntil   uint64 // for non-pipelined caches: cycle at which the array frees up
+	portsUsedAt uint64 // cycle the port counter refers to
+	portsUsed   int
+
+	// Statistics.
+	accesses uint64
+	misses   uint64
+}
+
+// New creates a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	cfg, err := cfg.normalise()
+	if err != nil {
+		return nil, err
+	}
+	numSets := cfg.SizeBytes / cfg.LineBytes / cfg.Assoc
+	sets := make([][]way, numSets)
+	backing := make([]way, numSets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return &Cache{cfg: cfg, sets: sets, numSets: numSets}, nil
+}
+
+// MustNew is New but panics on configuration errors; intended for tests and
+// internal presets whose parameters are static.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the (normalised) configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Latency returns the hit latency in cycles.
+func (c *Cache) Latency() int { return c.cfg.Latency }
+
+// Pipelined reports whether the cache is pipelined.
+func (c *Cache) Pipelined() bool { return c.cfg.Pipelined }
+
+// Lines returns the total number of lines the cache can hold.
+func (c *Cache) Lines() int { return c.cfg.SizeBytes / c.cfg.LineBytes }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.numSets }
+
+// index returns the set index and tag for an address.
+func (c *Cache) index(addr isa.Addr) (int, isa.Addr) {
+	line := uint64(addr) / uint64(c.cfg.LineBytes)
+	set := int(line % uint64(c.numSets))
+	tag := isa.Addr(line / uint64(c.numSets))
+	return set, tag
+}
+
+// Probe reports whether the line containing addr is present, without
+// updating LRU state or statistics. This models the extra tag port used by
+// FDP's Enqueue Cache Probe Filtering.
+func (c *Cache) Probe(addr isa.Addr) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup performs a demand access for the line containing addr: it updates
+// LRU on a hit and the access/miss statistics. It does not allocate on a
+// miss (use Insert when the fill arrives).
+func (c *Cache) Lookup(addr isa.Addr) bool {
+	c.accesses++
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if w.valid && w.tag == tag {
+			c.stamp++
+			w.lru = c.stamp
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Insert fills the line containing addr, evicting the LRU way of its set if
+// needed. It returns the evicted line address and whether an eviction of a
+// valid line happened.
+func (c *Cache) Insert(addr isa.Addr) (evicted isa.Addr, hadVictim bool) {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	// If already present just refresh LRU.
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.stamp++
+			ways[i].lru = c.stamp
+			return 0, false
+		}
+	}
+	victim := 0
+	for i := 1; i < len(ways); i++ {
+		if !ways[victim].valid {
+			break
+		}
+		if !ways[i].valid || ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	if ways[victim].valid {
+		evicted = c.lineAddr(set, ways[victim].tag)
+		hadVictim = true
+	}
+	c.stamp++
+	ways[victim] = way{valid: true, tag: tag, lru: c.stamp}
+	return evicted, hadVictim
+}
+
+// lineAddr reconstructs a line address from its set and tag.
+func (c *Cache) lineAddr(set int, tag isa.Addr) isa.Addr {
+	line := uint64(tag)*uint64(c.numSets) + uint64(set)
+	return isa.Addr(line * uint64(c.cfg.LineBytes))
+}
+
+// Invalidate removes the line containing addr if present, returning whether
+// it was present.
+func (c *Cache) Invalidate(addr isa.Addr) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			c.sets[set][i] = way{}
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the entire cache and resets timing occupancy (but keeps
+// statistics).
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = way{}
+		}
+	}
+	c.busyUntil = 0
+	c.portsUsed = 0
+}
+
+// Contents returns all resident line addresses (unordered count is the
+// caller's concern); intended for tests and debugging.
+func (c *Cache) Contents() []isa.Addr {
+	var out []isa.Addr
+	for s := range c.sets {
+		for _, w := range c.sets[s] {
+			if w.valid {
+				out = append(out, c.lineAddr(s, w.tag))
+			}
+		}
+	}
+	return out
+}
+
+// ResidentCount returns the number of valid lines.
+func (c *Cache) ResidentCount() int {
+	n := 0
+	for s := range c.sets {
+		for _, w := range c.sets[s] {
+			if w.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Accesses and Misses return the demand-access statistics.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of demand misses recorded by Lookup.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses/accesses (0 when no accesses).
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// CanAccept reports whether a new access may start at cycle `now`, given the
+// port limit and, for non-pipelined caches, array occupancy.
+func (c *Cache) CanAccept(now uint64) bool {
+	if !c.cfg.Pipelined && now < c.busyUntil {
+		return false
+	}
+	if c.portsUsedAt == now && c.portsUsed >= c.cfg.Ports {
+		return false
+	}
+	return true
+}
+
+// StartAccess reserves the array (and a port) for an access beginning at
+// cycle `now` and returns the cycle at which the result is available. It
+// returns ok=false if the access cannot start this cycle.
+func (c *Cache) StartAccess(now uint64) (done uint64, ok bool) {
+	if !c.CanAccept(now) {
+		return 0, false
+	}
+	if c.portsUsedAt != now {
+		c.portsUsedAt = now
+		c.portsUsed = 0
+	}
+	c.portsUsed++
+	done = now + uint64(c.cfg.Latency)
+	if !c.cfg.Pipelined {
+		c.busyUntil = done
+	}
+	return done, true
+}
+
+// BusyUntil returns the cycle until which a non-pipelined cache is occupied
+// (always 0 for pipelined caches).
+func (c *Cache) BusyUntil() uint64 {
+	if c.cfg.Pipelined {
+		return 0
+	}
+	return c.busyUntil
+}

@@ -1,0 +1,156 @@
+// Package core ties the substrates together into the simulated processor:
+// the decoupled front-end (stream predictor, FTQ/CLTQ, prefetch engine,
+// pre-buffers, fetch stage), the memory hierarchy, and the back-end
+// pipeline. It implements the trace-driven, wrong-path-capable cycle loop
+// the paper's custom simulator provides, and produces the statistics each
+// figure of the evaluation is built from.
+package core
+
+import (
+	"fmt"
+
+	"clgp/internal/bpred"
+	"clgp/internal/cacti"
+	"clgp/internal/memory"
+	"clgp/internal/pipeline"
+	"clgp/internal/prefetch"
+)
+
+// EngineKind selects the instruction-delivery scheme.
+type EngineKind int
+
+const (
+	// EngineNone is the baseline without prefetching.
+	EngineNone EngineKind = iota
+	// EngineNextN is next-N-line sequential prefetching (ablation).
+	EngineNextN
+	// EngineFDP is Fetch Directed Prefetching.
+	EngineFDP
+	// EngineCLGP is Cache Line Guided Prestaging (the paper's proposal).
+	EngineCLGP
+)
+
+// String names the engine kind.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineNone:
+		return "none"
+	case EngineNextN:
+		return "nextn"
+	case EngineFDP:
+		return "fdp"
+	case EngineCLGP:
+		return "clgp"
+	default:
+		return fmt.Sprintf("engine(%d)", int(k))
+	}
+}
+
+// Config describes one simulated processor configuration (one curve point of
+// the paper's figures).
+type Config struct {
+	// Name labels the configuration in reports (e.g. "CLGP + L0 + PB:16").
+	Name string
+
+	// Tech is the technology node (0.09um or 0.045um in the paper).
+	Tech cacti.Tech
+	// L1ISize is the L1 instruction cache size in bytes (the swept axis).
+	L1ISize int
+	// L1IPipelined selects a pipelined L1 I-cache.
+	L1IPipelined bool
+	// UseL0 adds the one-cycle L0 cache sized by the node's one-cycle
+	// capacity (512B at 90nm, 256B at 45nm).
+	UseL0 bool
+	// IdealICache makes every instruction fetch a one-cycle hit (Figure 1).
+	IdealICache bool
+
+	// Engine selects the prefetching scheme.
+	Engine EngineKind
+	// PreBufferEntries is the pre-buffer size in lines; 0 selects the
+	// node's default (the largest one-cycle buffer: 8 at 90nm, 4 at 45nm).
+	PreBufferEntries int
+
+	// FetchWidth is the fetch/issue/commit width (Table 2: 4).
+	FetchWidth int
+	// MaxInsts bounds the number of committed instructions to simulate; 0
+	// means the whole trace.
+	MaxInsts int
+	// RedirectPenalty is the number of cycles between branch resolution and
+	// the predictor restarting on the correct path.
+	RedirectPenalty int
+
+	// Backend and Predictor allow overriding the defaults (Table 2 values
+	// are used when zero).
+	Backend   pipeline.Config
+	Predictor bpred.Config
+}
+
+// DefaultPreBufferEntries returns the largest pre-buffer that is accessible
+// in one cycle at the node: 8 entries (512B) at 0.09um, 4 entries (256B) at
+// 0.045um.
+func DefaultPreBufferEntries(tech cacti.Tech) int {
+	return cacti.OneCycleCapacity(tech) / 64
+}
+
+// DefaultL0Size returns the L0 size used with UseL0 (the one-cycle capacity
+// of the node).
+func DefaultL0Size(tech cacti.Tech) int { return cacti.OneCycleCapacity(tech) }
+
+func (c Config) normalise() (Config, error) {
+	if !c.Tech.Valid() {
+		return c, fmt.Errorf("core: invalid technology node %v", c.Tech)
+	}
+	if c.L1ISize <= 0 {
+		return c, fmt.Errorf("core: L1 I-cache size must be positive, got %d", c.L1ISize)
+	}
+	if c.Engine < EngineNone || c.Engine > EngineCLGP {
+		return c, fmt.Errorf("core: unknown engine kind %d", c.Engine)
+	}
+	if c.PreBufferEntries < 0 {
+		return c, fmt.Errorf("core: pre-buffer entries must be non-negative, got %d", c.PreBufferEntries)
+	}
+	if c.PreBufferEntries == 0 {
+		c.PreBufferEntries = DefaultPreBufferEntries(c.Tech)
+	}
+	if c.FetchWidth <= 0 {
+		c.FetchWidth = 4
+	}
+	if c.RedirectPenalty <= 0 {
+		c.RedirectPenalty = 3
+	}
+	if c.Backend == (pipeline.Config{}) {
+		c.Backend = pipeline.DefaultConfig()
+	}
+	if c.Predictor == (bpred.Config{}) {
+		c.Predictor = bpred.DefaultConfig()
+	}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("%s/%s/L1=%dB", c.Engine, c.Tech, c.L1ISize)
+	}
+	return c, nil
+}
+
+// memoryConfig derives the hierarchy configuration.
+func (c Config) memoryConfig() memory.Config {
+	mc := memory.DefaultConfig(c.Tech, c.L1ISize)
+	mc.L1IPipelined = c.L1IPipelined
+	mc.IdealICache = c.IdealICache
+	if c.UseL0 {
+		mc.L0Size = DefaultL0Size(c.Tech)
+		// With an L0, prefetches are served by the L1 when it has the line
+		// (Sections 3.1.1 and 3.2.4).
+		mc.PrefetchFromL1 = true
+	}
+	return mc
+}
+
+// engineConfig derives the prefetch engine configuration.
+func (c Config) engineConfig() prefetch.Config {
+	return prefetch.Config{
+		LineBytes:     64,
+		QueueBlocks:   8,
+		BufferEntries: c.PreBufferEntries,
+		BufferLatency: cacti.PreBufferPipelineDepth(c.PreBufferEntries, 64, c.Tech),
+		HasL0:         c.UseL0,
+	}
+}

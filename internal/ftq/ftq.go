@@ -1,0 +1,304 @@
+// Package ftq implements the two decoupling queues of the paper's
+// front-ends:
+//
+//   - FTQ (fetch target queue): each entry is a whole fetch block (a run of
+//     sequential instructions ending at a predicted-taken branch), as in
+//     Reinman et al.'s Fetch Directed Prefetching.
+//   - CLTQ (cache line target queue): fetch blocks are split into fetch
+//     cache lines before being enqueued; each entry holds exactly one cache
+//     line plus the 'prefetched' and 'occupied' bits used by CLGP.
+//
+// Both queues bound occupancy by the number of fetch *blocks* (8 in the
+// paper), so FDP and CLGP get the same prediction look-ahead and the same
+// opportunities to initiate prefetches.
+package ftq
+
+import (
+	"fmt"
+
+	"clgp/internal/isa"
+)
+
+// FetchBlock is one prediction produced by the branch predictor: a run of
+// sequential instructions starting at Start, containing NumInsts
+// instructions, ending because of a predicted-taken control instruction (or
+// a maximum-length cut). Next is the predicted address of the following
+// fetch block.
+type FetchBlock struct {
+	// Start is the address of the first instruction of the block.
+	Start isa.Addr
+	// NumInsts is the number of instructions in the block (>= 1).
+	NumInsts int
+	// Next is the predicted start address of the successor block.
+	Next isa.Addr
+	// EndsInBranch reports whether the block ends at a predicted-taken
+	// control instruction (false when the block was cut at max length).
+	EndsInBranch bool
+	// WrongPath marks blocks generated while the front-end is known (by the
+	// simulator, not by the hardware) to be on a mispredicted path.
+	WrongPath bool
+	// SeqID is a monotonically increasing identifier assigned by the
+	// predictor, used to associate CLTQ lines with their parent block.
+	SeqID uint64
+}
+
+// Lines returns the cache-line addresses the block spans, in fetch order.
+func (fb FetchBlock) Lines(lineSize int) []isa.Addr {
+	n := isa.LinesSpanned(fb.Start, fb.NumInsts, lineSize)
+	out := make([]isa.Addr, n)
+	first := isa.LineAddr(fb.Start, lineSize)
+	for i := 0; i < n; i++ {
+		out[i] = first + isa.Addr(i*lineSize)
+	}
+	return out
+}
+
+// FTQ is the fetch target queue: a bounded FIFO of fetch blocks.
+type FTQ struct {
+	capacity int
+	blocks   []FetchBlock
+}
+
+// NewFTQ creates an FTQ bounded to capacity fetch blocks.
+func NewFTQ(capacity int) (*FTQ, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("ftq: capacity must be positive, got %d", capacity)
+	}
+	return &FTQ{capacity: capacity}, nil
+}
+
+// Capacity returns the maximum number of fetch blocks.
+func (q *FTQ) Capacity() int { return q.capacity }
+
+// Len returns the current number of fetch blocks.
+func (q *FTQ) Len() int { return len(q.blocks) }
+
+// Full reports whether no further block can be enqueued.
+func (q *FTQ) Full() bool { return len(q.blocks) >= q.capacity }
+
+// Empty reports whether the queue has no blocks.
+func (q *FTQ) Empty() bool { return len(q.blocks) == 0 }
+
+// Push enqueues a fetch block; it returns false when the queue is full.
+func (q *FTQ) Push(fb FetchBlock) bool {
+	if q.Full() {
+		return false
+	}
+	q.blocks = append(q.blocks, fb)
+	return true
+}
+
+// Head returns the oldest block without removing it.
+func (q *FTQ) Head() (FetchBlock, bool) {
+	if q.Empty() {
+		return FetchBlock{}, false
+	}
+	return q.blocks[0], true
+}
+
+// Pop removes and returns the oldest block.
+func (q *FTQ) Pop() (FetchBlock, bool) {
+	if q.Empty() {
+		return FetchBlock{}, false
+	}
+	fb := q.blocks[0]
+	q.blocks = q.blocks[1:]
+	return fb, true
+}
+
+// At returns the i-th oldest block (0 = head) for prefetch scanning.
+func (q *FTQ) At(i int) (FetchBlock, bool) {
+	if i < 0 || i >= len(q.blocks) {
+		return FetchBlock{}, false
+	}
+	return q.blocks[i], true
+}
+
+// Flush empties the queue (branch misprediction recovery).
+func (q *FTQ) Flush() { q.blocks = q.blocks[:0] }
+
+// CLTQEntry is one cache-line-granularity entry of the CLTQ.
+type CLTQEntry struct {
+	// Line is the fetch cache line address.
+	Line isa.Addr
+	// Start is the address of the first instruction to fetch within the line
+	// (the fetch block may enter the line in the middle).
+	Start isa.Addr
+	// NumInsts is the number of instructions of the parent fetch block that
+	// live in this line.
+	NumInsts int
+	// Next is the predicted successor of the parent fetch block; only
+	// meaningful on the last line of a block (LastOfBlock == true).
+	Next isa.Addr
+	// LastOfBlock marks the final line of its parent fetch block.
+	LastOfBlock bool
+	// EndsInBranch mirrors the parent block's flag (only meaningful when
+	// LastOfBlock is true).
+	EndsInBranch bool
+	// WrongPath mirrors the parent block's flag.
+	WrongPath bool
+	// BlockID is the parent block's SeqID.
+	BlockID uint64
+	// Prefetched is the 'prefetched bit' of the paper: set when the CLGP
+	// engine has processed this entry (issued a prefetch or found the line
+	// already staged).
+	Prefetched bool
+	// Occupied is the 'occupied bit': true while the entry holds a fetch
+	// cache line that has not been fetched yet.
+	Occupied bool
+}
+
+// CLTQ is the cache line target queue. Occupancy is bounded by the number of
+// distinct fetch blocks whose lines are queued (to match the FTQ bound), not
+// by the number of line entries.
+type CLTQ struct {
+	blockCapacity int
+	lineSize      int
+	entries       []CLTQEntry
+	blockCount    int
+	lastBlockID   uint64
+	haveLastBlock bool
+}
+
+// NewCLTQ creates a CLTQ bounded to blockCapacity fetch blocks, splitting
+// blocks into lines of lineSize bytes.
+func NewCLTQ(blockCapacity, lineSize int) (*CLTQ, error) {
+	if blockCapacity <= 0 {
+		return nil, fmt.Errorf("cltq: block capacity must be positive, got %d", blockCapacity)
+	}
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("cltq: line size must be a positive power of two, got %d", lineSize)
+	}
+	return &CLTQ{blockCapacity: blockCapacity, lineSize: lineSize}, nil
+}
+
+// Capacity returns the block capacity.
+func (q *CLTQ) Capacity() int { return q.blockCapacity }
+
+// LineSize returns the cache line size used to split fetch blocks.
+func (q *CLTQ) LineSize() int { return q.lineSize }
+
+// Blocks returns the number of distinct fetch blocks currently queued.
+func (q *CLTQ) Blocks() int { return q.blockCount }
+
+// Len returns the number of line entries currently queued.
+func (q *CLTQ) Len() int { return len(q.entries) }
+
+// Full reports whether another fetch block can be accepted.
+func (q *CLTQ) Full() bool { return q.blockCount >= q.blockCapacity }
+
+// Empty reports whether there are no line entries.
+func (q *CLTQ) Empty() bool { return len(q.entries) == 0 }
+
+// Push splits a fetch block into fetch cache lines and enqueues them. It
+// returns false (enqueuing nothing) when the queue already holds its maximum
+// number of blocks.
+func (q *CLTQ) Push(fb FetchBlock) bool {
+	if q.Full() {
+		return false
+	}
+	if fb.NumInsts <= 0 {
+		return false
+	}
+	lines := fb.Lines(q.lineSize)
+	instsPerLine := q.lineSize / isa.InstBytes
+	start := fb.Start
+	remaining := fb.NumInsts
+	for i, la := range lines {
+		// Number of instructions of this block within this line.
+		offInsts := int(start-la) / isa.InstBytes
+		n := instsPerLine - offInsts
+		if n > remaining {
+			n = remaining
+		}
+		e := CLTQEntry{
+			Line:         la,
+			Start:        start,
+			NumInsts:     n,
+			BlockID:      fb.SeqID,
+			WrongPath:    fb.WrongPath,
+			Occupied:     true,
+			LastOfBlock:  i == len(lines)-1,
+			EndsInBranch: fb.EndsInBranch && i == len(lines)-1,
+		}
+		if e.LastOfBlock {
+			e.Next = fb.Next
+		}
+		q.entries = append(q.entries, e)
+		start = la + isa.Addr(q.lineSize)
+		remaining -= n
+	}
+	q.blockCount++
+	q.lastBlockID = fb.SeqID
+	q.haveLastBlock = true
+	return true
+}
+
+// Head returns the oldest line entry without removing it.
+func (q *CLTQ) Head() (CLTQEntry, bool) {
+	if q.Empty() {
+		return CLTQEntry{}, false
+	}
+	return q.entries[0], true
+}
+
+// Pop removes and returns the oldest line entry, updating the block count
+// when the last line of a block leaves the queue.
+func (q *CLTQ) Pop() (CLTQEntry, bool) {
+	if q.Empty() {
+		return CLTQEntry{}, false
+	}
+	e := q.entries[0]
+	q.entries = q.entries[1:]
+	if e.LastOfBlock {
+		q.blockCount--
+	}
+	return e, true
+}
+
+// At returns the i-th oldest line entry (0 = head).
+func (q *CLTQ) At(i int) (CLTQEntry, bool) {
+	if i < 0 || i >= len(q.entries) {
+		return CLTQEntry{}, false
+	}
+	return q.entries[i], true
+}
+
+// MarkPrefetched sets the prefetched bit of the i-th oldest entry.
+func (q *CLTQ) MarkPrefetched(i int) {
+	if i >= 0 && i < len(q.entries) {
+		q.entries[i].Prefetched = true
+	}
+}
+
+// NextUnprefetched returns the index of the oldest entry whose prefetched
+// bit is clear, or -1 when every queued entry has been processed.
+func (q *CLTQ) NextUnprefetched() int {
+	for i := range q.entries {
+		if !q.entries[i].Prefetched {
+			return i
+		}
+	}
+	return -1
+}
+
+// Flush empties the queue (branch misprediction recovery).
+func (q *CLTQ) Flush() {
+	q.entries = q.entries[:0]
+	q.blockCount = 0
+	q.haveLastBlock = false
+}
+
+// QueuedLines returns the distinct line addresses currently queued, in order
+// of first appearance. Used by tests to cross-check consumers counters.
+func (q *CLTQ) QueuedLines() []isa.Addr {
+	seen := make(map[isa.Addr]bool)
+	var out []isa.Addr
+	for _, e := range q.entries {
+		if !seen[e.Line] {
+			seen[e.Line] = true
+			out = append(out, e.Line)
+		}
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package ftq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clgp/internal/isa"
+)
+
+func TestFetchBlockLines(t *testing.T) {
+	cases := []struct {
+		start isa.Addr
+		n     int
+		want  []isa.Addr
+	}{
+		{0x1000, 4, []isa.Addr{0x1000}},
+		{0x1000, 16, []isa.Addr{0x1000}},
+		{0x1000, 17, []isa.Addr{0x1000, 0x1040}},
+		{0x103c, 2, []isa.Addr{0x1000, 0x1040}},
+		{0x1070, 30, []isa.Addr{0x1040, 0x1080, 0x10c0}},
+	}
+	for _, c := range cases {
+		fb := FetchBlock{Start: c.start, NumInsts: c.n}
+		got := fb.Lines(64)
+		if len(got) != len(c.want) {
+			t.Errorf("Lines(%#x,%d) = %v, want %v", c.start, c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Lines(%#x,%d)[%d] = %#x, want %#x", c.start, c.n, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestFTQBasics(t *testing.T) {
+	if _, err := NewFTQ(0); err == nil {
+		t.Errorf("zero capacity should error")
+	}
+	q, err := NewFTQ(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Capacity() != 2 || !q.Empty() || q.Full() {
+		t.Errorf("fresh queue state wrong")
+	}
+	if _, ok := q.Head(); ok {
+		t.Errorf("Head on empty queue should fail")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Errorf("Pop on empty queue should fail")
+	}
+	b1 := FetchBlock{Start: 0x1000, NumInsts: 8, Next: 0x2000, SeqID: 1}
+	b2 := FetchBlock{Start: 0x2000, NumInsts: 4, Next: 0x3000, SeqID: 2}
+	b3 := FetchBlock{Start: 0x3000, NumInsts: 4, SeqID: 3}
+	if !q.Push(b1) || !q.Push(b2) {
+		t.Fatalf("pushes should succeed")
+	}
+	if q.Push(b3) {
+		t.Errorf("push beyond capacity should fail")
+	}
+	if !q.Full() || q.Len() != 2 {
+		t.Errorf("queue should be full with 2 entries")
+	}
+	if h, ok := q.Head(); !ok || h.SeqID != 1 {
+		t.Errorf("Head = %+v", h)
+	}
+	if e, ok := q.At(1); !ok || e.SeqID != 2 {
+		t.Errorf("At(1) = %+v", e)
+	}
+	if _, ok := q.At(5); ok {
+		t.Errorf("At out of range should fail")
+	}
+	p, ok := q.Pop()
+	if !ok || p.SeqID != 1 {
+		t.Errorf("Pop = %+v", p)
+	}
+	q.Flush()
+	if !q.Empty() {
+		t.Errorf("Flush should empty the queue")
+	}
+}
+
+func TestCLTQValidation(t *testing.T) {
+	if _, err := NewCLTQ(0, 64); err == nil {
+		t.Errorf("zero block capacity should error")
+	}
+	if _, err := NewCLTQ(8, 48); err == nil {
+		t.Errorf("non-power-of-two line size should error")
+	}
+	q, err := NewCLTQ(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Capacity() != 8 || q.LineSize() != 64 {
+		t.Errorf("capacity/line size wrong")
+	}
+	// Degenerate block.
+	if q.Push(FetchBlock{Start: 0x1000, NumInsts: 0}) {
+		t.Errorf("zero-instruction block should be rejected")
+	}
+}
+
+func TestCLTQSplitsBlocksIntoLines(t *testing.T) {
+	q, _ := NewCLTQ(8, 64)
+	// Block of 20 instructions starting mid-line at 0x1030: spans lines
+	// 0x1000 (4 insts), 0x1040 (16 insts).
+	fb := FetchBlock{Start: 0x1030, NumInsts: 20, Next: 0x4000, EndsInBranch: true, SeqID: 7}
+	if !q.Push(fb) {
+		t.Fatalf("push failed")
+	}
+	if q.Len() != 2 || q.Blocks() != 1 {
+		t.Fatalf("Len=%d Blocks=%d, want 2/1", q.Len(), q.Blocks())
+	}
+	e0, _ := q.At(0)
+	e1, _ := q.At(1)
+	if e0.Line != 0x1000 || e0.Start != 0x1030 || e0.NumInsts != 4 || e0.LastOfBlock {
+		t.Errorf("entry 0 = %+v", e0)
+	}
+	if e1.Line != 0x1040 || e1.Start != 0x1040 || e1.NumInsts != 16 || !e1.LastOfBlock {
+		t.Errorf("entry 1 = %+v", e1)
+	}
+	if !e1.EndsInBranch || e1.Next != 0x4000 {
+		t.Errorf("terminal entry should carry the block's successor: %+v", e1)
+	}
+	if e0.EndsInBranch || e0.Next != 0 {
+		t.Errorf("non-terminal entry should not carry the successor: %+v", e0)
+	}
+	if e0.BlockID != 7 || e1.BlockID != 7 {
+		t.Errorf("block IDs wrong")
+	}
+	if !e0.Occupied || !e1.Occupied {
+		t.Errorf("entries should start occupied")
+	}
+	// Total instructions across entries must equal the block size.
+	if e0.NumInsts+e1.NumInsts != 20 {
+		t.Errorf("instruction conservation broken: %d", e0.NumInsts+e1.NumInsts)
+	}
+}
+
+func TestCLTQBlockBoundedOccupancy(t *testing.T) {
+	// Capacity of 2 blocks: a third block must be refused even though there
+	// is room for many more line entries.
+	q, _ := NewCLTQ(2, 64)
+	big := FetchBlock{Start: 0x1000, NumInsts: 64, SeqID: 1} // 4 lines
+	if !q.Push(big) {
+		t.Fatalf("push 1 failed")
+	}
+	if !q.Push(FetchBlock{Start: 0x5000, NumInsts: 8, SeqID: 2}) {
+		t.Fatalf("push 2 failed")
+	}
+	if q.Push(FetchBlock{Start: 0x9000, NumInsts: 8, SeqID: 3}) {
+		t.Errorf("third block should be refused at block capacity 2")
+	}
+	if q.Blocks() != 2 || q.Len() != 5 {
+		t.Errorf("Blocks=%d Len=%d", q.Blocks(), q.Len())
+	}
+	// Popping the 4 lines of the first block frees one block slot.
+	for i := 0; i < 3; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+		if q.Blocks() != 2 {
+			t.Errorf("block count should not drop until the last line leaves")
+		}
+	}
+	if _, ok := q.Pop(); !ok {
+		t.Fatalf("pop of last line failed")
+	}
+	if q.Blocks() != 1 {
+		t.Errorf("Blocks = %d after the first block fully drained", q.Blocks())
+	}
+	if !q.Push(FetchBlock{Start: 0x9000, NumInsts: 8, SeqID: 3}) {
+		t.Errorf("push should succeed once a block slot frees up")
+	}
+}
+
+func TestCLTQPrefetchedBits(t *testing.T) {
+	q, _ := NewCLTQ(4, 64)
+	q.Push(FetchBlock{Start: 0x1000, NumInsts: 32, SeqID: 1}) // 2 lines
+	if idx := q.NextUnprefetched(); idx != 0 {
+		t.Fatalf("NextUnprefetched = %d, want 0", idx)
+	}
+	q.MarkPrefetched(0)
+	if idx := q.NextUnprefetched(); idx != 1 {
+		t.Errorf("NextUnprefetched = %d, want 1", idx)
+	}
+	q.MarkPrefetched(1)
+	if idx := q.NextUnprefetched(); idx != -1 {
+		t.Errorf("NextUnprefetched = %d, want -1", idx)
+	}
+	// Out-of-range marks are ignored.
+	q.MarkPrefetched(99)
+	q.MarkPrefetched(-1)
+	e, _ := q.At(0)
+	if !e.Prefetched {
+		t.Errorf("entry 0 should be prefetched")
+	}
+}
+
+func TestCLTQFlushAndQueuedLines(t *testing.T) {
+	q, _ := NewCLTQ(4, 64)
+	q.Push(FetchBlock{Start: 0x1000, NumInsts: 32, SeqID: 1})
+	q.Push(FetchBlock{Start: 0x1000, NumInsts: 16, SeqID: 2}) // same first line again
+	lines := q.QueuedLines()
+	if len(lines) != 2 || lines[0] != 0x1000 || lines[1] != 0x1040 {
+		t.Errorf("QueuedLines = %#v", lines)
+	}
+	q.Flush()
+	if !q.Empty() || q.Blocks() != 0 || q.Len() != 0 {
+		t.Errorf("flush did not empty the queue")
+	}
+	if _, ok := q.Head(); ok {
+		t.Errorf("Head after flush should fail")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Errorf("Pop after flush should fail")
+	}
+	if _, ok := q.At(0); ok {
+		t.Errorf("At(0) after flush should fail")
+	}
+}
+
+// TestCLTQConservationProperty: for random fetch blocks, the line entries
+// produced cover exactly the block's instructions (sum of NumInsts equals
+// the block's NumInsts, lines are consecutive, and each entry's span fits
+// within its line).
+func TestCLTQConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q, err := NewCLTQ(1, 64)
+		if err != nil {
+			return false
+		}
+		start := isa.Addr(rng.Intn(1<<16)) &^ 3
+		n := rng.Intn(60) + 1
+		fb := FetchBlock{Start: start, NumInsts: n, SeqID: 9, Next: 0xbeef, EndsInBranch: true}
+		if !q.Push(fb) {
+			return false
+		}
+		total := 0
+		prevLine := isa.Addr(0)
+		for i := 0; ; i++ {
+			e, ok := q.At(i)
+			if !ok {
+				break
+			}
+			total += e.NumInsts
+			if e.NumInsts <= 0 {
+				return false
+			}
+			// The entry's instructions must fit inside its line.
+			if isa.LineAddr(e.Start, 64) != e.Line {
+				return false
+			}
+			endAddr := e.Start + isa.Addr(e.NumInsts)*isa.InstBytes
+			if endAddr > e.Line+64 {
+				return false
+			}
+			if i > 0 && e.Line != prevLine+64 {
+				return false
+			}
+			prevLine = e.Line
+			if e.LastOfBlock != (i == q.Len()-1) {
+				return false
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFTQAndCLTQHoldSameBlocks: pushing the same prediction stream into an
+// FTQ and a CLTQ with the same block capacity accepts and rejects exactly
+// the same blocks ("both queues have the same fetch blocks stored in them").
+func TestFTQAndCLTQHoldSameBlocks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ftq, err1 := NewFTQ(8)
+		cltq, err2 := NewCLTQ(8, 64)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := 0; i < 30; i++ {
+			fb := FetchBlock{
+				Start:    isa.Addr(rng.Intn(1<<16)) &^ 3,
+				NumInsts: rng.Intn(40) + 1,
+				SeqID:    uint64(i),
+			}
+			okF := ftq.Push(fb)
+			okC := cltq.Push(fb)
+			if okF != okC {
+				return false
+			}
+			// Occasionally drain one block from both.
+			if rng.Intn(3) == 0 {
+				if _, ok := ftq.Pop(); ok {
+					// Drain the whole block from the CLTQ.
+					for {
+						e, ok := cltq.Pop()
+						if !ok || e.LastOfBlock {
+							break
+						}
+					}
+				}
+			}
+			if ftq.Len() != cltq.Blocks() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dictionary is the program image: the "separate basic block dictionary in
+// which we have the information of all static instructions" that the paper's
+// simulator uses to permit execution along wrong paths. The front-end
+// consults it both on the correct path and when following a mispredicted
+// target, and the prefetch engines use it to determine which cache lines a
+// fetch block spans.
+type Dictionary struct {
+	blocks     map[Addr]*BasicBlock // keyed by block start address
+	insts      map[Addr]*StaticInst // keyed by instruction PC
+	sortedPCs  []Addr               // all instruction PCs in ascending order
+	sorted     bool                 // whether sortedPCs is currently ordered
+	minPC      Addr
+	maxPC      Addr
+	entryPoint Addr
+}
+
+// NewDictionary creates an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{
+		blocks: make(map[Addr]*BasicBlock),
+		insts:  make(map[Addr]*StaticInst),
+	}
+}
+
+// AddBlock registers a basic block and all its instructions. It returns an
+// error if the block is empty, overlaps an existing block's start, or
+// redefines an existing instruction with different contents.
+func (d *Dictionary) AddBlock(bb *BasicBlock) error {
+	if bb == nil || len(bb.Insts) == 0 {
+		return fmt.Errorf("isa: empty basic block")
+	}
+	if _, ok := d.blocks[bb.Start]; ok {
+		return fmt.Errorf("isa: duplicate basic block at %#x", bb.Start)
+	}
+	for i := range bb.Insts {
+		want := bb.Start + Addr(i)*InstBytes
+		if bb.Insts[i].PC != want {
+			return fmt.Errorf("isa: block %#x instruction %d has PC %#x, want %#x",
+				bb.Start, i, bb.Insts[i].PC, want)
+		}
+		if i < len(bb.Insts)-1 && bb.Insts[i].IsControl() {
+			return fmt.Errorf("isa: block %#x has control instruction %#x before terminator",
+				bb.Start, bb.Insts[i].PC)
+		}
+	}
+	d.blocks[bb.Start] = bb
+	for i := range bb.Insts {
+		pc := bb.Insts[i].PC
+		if _, ok := d.insts[pc]; !ok {
+			d.insts[pc] = &bb.Insts[i]
+			d.sortedPCs = append(d.sortedPCs, pc)
+		}
+		if d.minPC == 0 || pc < d.minPC {
+			d.minPC = pc
+		}
+		if pc > d.maxPC {
+			d.maxPC = pc
+		}
+	}
+	d.sorted = false
+	return nil
+}
+
+func (d *Dictionary) ensureSorted() {
+	if d.sorted {
+		return
+	}
+	sort.Slice(d.sortedPCs, func(i, j int) bool { return d.sortedPCs[i] < d.sortedPCs[j] })
+	d.sorted = true
+}
+
+// SetEntry records the program entry point.
+func (d *Dictionary) SetEntry(pc Addr) { d.entryPoint = pc }
+
+// Entry returns the program entry point.
+func (d *Dictionary) Entry() Addr { return d.entryPoint }
+
+// Inst returns the static instruction at pc, or nil if pc is not part of the
+// program image (e.g. a wrong-path fetch ran off the end of the code).
+func (d *Dictionary) Inst(pc Addr) *StaticInst { return d.insts[pc] }
+
+// Block returns the basic block starting at pc, or nil.
+func (d *Dictionary) Block(pc Addr) *BasicBlock { return d.blocks[pc] }
+
+// BlockCount returns the number of basic blocks in the image.
+func (d *Dictionary) BlockCount() int { return len(d.blocks) }
+
+// InstCount returns the number of static instructions in the image.
+func (d *Dictionary) InstCount() int { return len(d.insts) }
+
+// CodeBytes returns the static code footprint in bytes.
+func (d *Dictionary) CodeBytes() int { return len(d.insts) * InstBytes }
+
+// Bounds returns the lowest and highest instruction address in the image.
+func (d *Dictionary) Bounds() (lo, hi Addr) { return d.minPC, d.maxPC }
+
+// Contains reports whether pc maps to a static instruction.
+func (d *Dictionary) Contains(pc Addr) bool {
+	_, ok := d.insts[pc]
+	return ok
+}
+
+// Blocks returns all basic blocks sorted by start address. The slice is
+// freshly allocated; the blocks themselves are shared.
+func (d *Dictionary) Blocks() []*BasicBlock {
+	out := make([]*BasicBlock, 0, len(d.blocks))
+	for _, bb := range d.blocks {
+		out = append(out, bb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Lines returns the set of distinct cache-line addresses occupied by the
+// code, for the given line size. Useful to compute the static footprint in
+// lines when sizing workloads against cache capacities.
+func (d *Dictionary) Lines(lineSize int) []Addr {
+	d.ensureSorted()
+	var out []Addr
+	var last Addr
+	first := true
+	for _, pc := range d.sortedPCs {
+		la := LineAddr(pc, lineSize)
+		if first || la != last {
+			out = append(out, la)
+			last = la
+			first = false
+		}
+	}
+	return out
+}
+
+// NextPC returns the address that control flows to from pc when the control
+// decision is `taken`. For non-control instructions it is the fall-through.
+// For returns, the provided returnTo address is used (the dictionary does not
+// track the call stack). The boolean result is false when pc is unknown.
+func (d *Dictionary) NextPC(pc Addr, taken bool, returnTo Addr) (Addr, bool) {
+	si := d.insts[pc]
+	if si == nil {
+		return 0, false
+	}
+	switch si.Class {
+	case OpBranch:
+		if taken {
+			return si.Target, true
+		}
+		return si.FallThrough(), true
+	case OpJump, OpCall:
+		return si.Target, true
+	case OpReturn:
+		return returnTo, true
+	default:
+		return si.FallThrough(), true
+	}
+}

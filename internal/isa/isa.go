@@ -1,0 +1,194 @@
+// Package isa defines the abstract instruction set used by the simulator:
+// addresses, static instructions, basic blocks and the program image
+// ("basic block dictionary") that allows the front-end to fetch and prefetch
+// along wrong (mispredicted) paths, exactly as the paper's trace-driven
+// simulator does.
+//
+// The ISA is a minimal RISC abstraction of the DEC Alpha AXP-21264 used by
+// the paper: fixed 4-byte instructions, 64-byte cache lines (16 instructions
+// per line), explicit branch/call/return classes and register operands that
+// the back-end scoreboard uses to model data dependences.
+package isa
+
+import "fmt"
+
+// Addr is a byte address in the simulated address space.
+type Addr uint64
+
+// InstBytes is the size of every instruction in bytes (Alpha-style fixed
+// width encoding).
+const InstBytes = 4
+
+// NumRegs is the number of architectural integer registers modelled by the
+// back-end scoreboard.
+const NumRegs = 32
+
+// RegZero is the hardwired zero register; writes to it are discarded and
+// reads from it never create a dependence.
+const RegZero = 31
+
+// OpClass enumerates the instruction classes the timing model distinguishes.
+type OpClass uint8
+
+const (
+	// OpALU is a single-cycle integer operation.
+	OpALU OpClass = iota
+	// OpMul is a multi-cycle integer multiply/divide style operation.
+	OpMul
+	// OpFP is a floating point operation.
+	OpFP
+	// OpLoad reads memory through the L1 data cache.
+	OpLoad
+	// OpStore writes memory through the L1 data cache.
+	OpStore
+	// OpBranch is a conditional direct branch.
+	OpBranch
+	// OpJump is an unconditional direct jump.
+	OpJump
+	// OpCall is a direct subroutine call (pushes the return address).
+	OpCall
+	// OpReturn is a subroutine return (pops the return address stack).
+	OpReturn
+	// OpNop does nothing but still occupies fetch/issue/commit bandwidth.
+	OpNop
+
+	numOpClasses
+)
+
+// String returns the mnemonic-like name of the class.
+func (c OpClass) String() string {
+	switch c {
+	case OpALU:
+		return "alu"
+	case OpMul:
+		return "mul"
+	case OpFP:
+		return "fp"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	case OpJump:
+		return "jump"
+	case OpCall:
+		return "call"
+	case OpReturn:
+		return "return"
+	case OpNop:
+		return "nop"
+	default:
+		return fmt.Sprintf("opclass(%d)", uint8(c))
+	}
+}
+
+// IsControl reports whether the class changes (or may change) control flow.
+func (c OpClass) IsControl() bool {
+	switch c {
+	case OpBranch, OpJump, OpCall, OpReturn:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the class is a conditional branch (the only
+// class whose direction the stream predictor can mispredict).
+func (c OpClass) IsCondBranch() bool { return c == OpBranch }
+
+// IsMem reports whether the class accesses data memory.
+func (c OpClass) IsMem() bool { return c == OpLoad || c == OpStore }
+
+// ExecLatency returns the execution latency in cycles of the class, not
+// counting any memory access time (loads add the D-cache access on top).
+func (c OpClass) ExecLatency() int {
+	switch c {
+	case OpMul:
+		return 3
+	case OpFP:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// StaticInst is one instruction of the program image.
+type StaticInst struct {
+	// PC is the address of the instruction.
+	PC Addr
+	// Class is the timing class of the instruction.
+	Class OpClass
+	// Target is the taken target for control instructions (unused for
+	// returns, whose target is dynamic).
+	Target Addr
+	// Src1, Src2 are source register indices (RegZero means "no source").
+	Src1, Src2 uint8
+	// Dst is the destination register index (RegZero means "no destination").
+	Dst uint8
+	// TakenBias is the static probability (0..1) that a conditional branch
+	// is taken; used by the workload generator when synthesising dynamic
+	// behaviour. Non-branches ignore it.
+	TakenBias float64
+}
+
+// FallThrough returns the address of the next sequential instruction.
+func (si *StaticInst) FallThrough() Addr { return si.PC + InstBytes }
+
+// IsControl reports whether the instruction may redirect fetch.
+func (si *StaticInst) IsControl() bool { return si.Class.IsControl() }
+
+// BasicBlock is a maximal single-entry straight-line run of instructions.
+// The last instruction is the only one that may be a control instruction.
+type BasicBlock struct {
+	// Start is the address of the first instruction.
+	Start Addr
+	// Insts are the instructions of the block in program order.
+	Insts []StaticInst
+}
+
+// End returns the address one past the last instruction of the block.
+func (bb *BasicBlock) End() Addr {
+	return bb.Start + Addr(len(bb.Insts))*InstBytes
+}
+
+// LastPC returns the address of the last instruction of the block.
+func (bb *BasicBlock) LastPC() Addr {
+	if len(bb.Insts) == 0 {
+		return bb.Start
+	}
+	return bb.Start + Addr(len(bb.Insts)-1)*InstBytes
+}
+
+// Terminator returns the last instruction of the block, or nil for an empty
+// block.
+func (bb *BasicBlock) Terminator() *StaticInst {
+	if len(bb.Insts) == 0 {
+		return nil
+	}
+	return &bb.Insts[len(bb.Insts)-1]
+}
+
+// Len returns the number of instructions in the block.
+func (bb *BasicBlock) Len() int { return len(bb.Insts) }
+
+// LineAddr returns the cache-line-aligned address containing a, for the
+// given line size in bytes. lineSize must be a power of two.
+func LineAddr(a Addr, lineSize int) Addr {
+	return a &^ Addr(lineSize-1)
+}
+
+// LineOffset returns the byte offset of a within its cache line.
+func LineOffset(a Addr, lineSize int) int {
+	return int(a & Addr(lineSize-1))
+}
+
+// LinesSpanned returns the number of distinct cache lines touched by the
+// address range [start, start+nInsts*InstBytes).
+func LinesSpanned(start Addr, nInsts, lineSize int) int {
+	if nInsts <= 0 {
+		return 0
+	}
+	first := LineAddr(start, lineSize)
+	last := LineAddr(start+Addr(nInsts-1)*InstBytes, lineSize)
+	return int((last-first)/Addr(lineSize)) + 1
+}

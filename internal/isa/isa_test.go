@@ -1,0 +1,314 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassString(t *testing.T) {
+	cases := map[OpClass]string{
+		OpALU:    "alu",
+		OpMul:    "mul",
+		OpFP:     "fp",
+		OpLoad:   "load",
+		OpStore:  "store",
+		OpBranch: "branch",
+		OpJump:   "jump",
+		OpCall:   "call",
+		OpReturn: "return",
+		OpNop:    "nop",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("OpClass(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := OpClass(200).String(); got != "opclass(200)" {
+		t.Errorf("unknown class string = %q", got)
+	}
+}
+
+func TestOpClassPredicates(t *testing.T) {
+	control := map[OpClass]bool{
+		OpBranch: true, OpJump: true, OpCall: true, OpReturn: true,
+		OpALU: false, OpLoad: false, OpStore: false, OpNop: false, OpMul: false, OpFP: false,
+	}
+	for c, want := range control {
+		if got := c.IsControl(); got != want {
+			t.Errorf("%v.IsControl() = %v, want %v", c, got, want)
+		}
+	}
+	if !OpBranch.IsCondBranch() || OpJump.IsCondBranch() || OpCall.IsCondBranch() {
+		t.Errorf("IsCondBranch misclassifies")
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() || OpALU.IsMem() || OpBranch.IsMem() {
+		t.Errorf("IsMem misclassifies")
+	}
+}
+
+func TestOpClassExecLatency(t *testing.T) {
+	if OpALU.ExecLatency() != 1 {
+		t.Errorf("ALU latency = %d, want 1", OpALU.ExecLatency())
+	}
+	if OpMul.ExecLatency() != 3 {
+		t.Errorf("Mul latency = %d, want 3", OpMul.ExecLatency())
+	}
+	if OpFP.ExecLatency() != 4 {
+		t.Errorf("FP latency = %d, want 4", OpFP.ExecLatency())
+	}
+	if OpLoad.ExecLatency() != 1 {
+		t.Errorf("Load base latency = %d, want 1", OpLoad.ExecLatency())
+	}
+}
+
+func TestStaticInstFallThrough(t *testing.T) {
+	si := &StaticInst{PC: 0x1000, Class: OpALU}
+	if si.FallThrough() != 0x1004 {
+		t.Errorf("FallThrough = %#x, want 0x1004", si.FallThrough())
+	}
+	if si.IsControl() {
+		t.Errorf("ALU should not be control")
+	}
+}
+
+func TestLineAddrAndOffset(t *testing.T) {
+	cases := []struct {
+		addr     Addr
+		lineSize int
+		wantLine Addr
+		wantOff  int
+	}{
+		{0x0, 64, 0x0, 0},
+		{0x3f, 64, 0x0, 63},
+		{0x40, 64, 0x40, 0},
+		{0x1044, 64, 0x1040, 4},
+		{0x1044, 128, 0x1000, 0x44},
+		{0xffff, 64, 0xffc0, 0x3f},
+	}
+	for _, c := range cases {
+		if got := LineAddr(c.addr, c.lineSize); got != c.wantLine {
+			t.Errorf("LineAddr(%#x, %d) = %#x, want %#x", c.addr, c.lineSize, got, c.wantLine)
+		}
+		if got := LineOffset(c.addr, c.lineSize); got != c.wantOff {
+			t.Errorf("LineOffset(%#x, %d) = %d, want %d", c.addr, c.lineSize, got, c.wantOff)
+		}
+	}
+}
+
+func TestLineAddrProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		const ls = 64
+		la := LineAddr(a, ls)
+		off := LineOffset(a, ls)
+		// Reconstruction and alignment invariants.
+		return la+Addr(off) == a && la%ls == 0 && off >= 0 && off < ls
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinesSpanned(t *testing.T) {
+	cases := []struct {
+		start Addr
+		n     int
+		want  int
+	}{
+		{0x0, 0, 0},
+		{0x0, 1, 1},
+		{0x0, 16, 1}, // exactly one 64B line of 4-byte instructions
+		{0x0, 17, 2},
+		{0x3c, 2, 2}, // crosses a line boundary
+		{0x40, 16, 1},
+		{0x44, 16, 2},
+		{0x0, 64, 4},
+	}
+	for _, c := range cases {
+		if got := LinesSpanned(c.start, c.n, 64); got != c.want {
+			t.Errorf("LinesSpanned(%#x, %d) = %d, want %d", c.start, c.n, got, c.want)
+		}
+	}
+}
+
+func TestLinesSpannedProperty(t *testing.T) {
+	// The number of lines spanned is always between ceil(n/instsPerLine) and
+	// ceil(n/instsPerLine)+1 for n > 0.
+	f := func(rawStart uint32, rawN uint16) bool {
+		start := Addr(rawStart) * InstBytes
+		n := int(rawN%256) + 1
+		const lineSize = 64
+		instsPerLine := lineSize / InstBytes
+		got := LinesSpanned(start, n, lineSize)
+		minLines := (n + instsPerLine - 1) / instsPerLine
+		return got >= minLines && got <= minLines+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func makeBlock(start Addr, n int, term OpClass, target Addr) *BasicBlock {
+	bb := &BasicBlock{Start: start}
+	for i := 0; i < n; i++ {
+		cls := OpALU
+		var tgt Addr
+		if i == n-1 {
+			cls = term
+			tgt = target
+		}
+		bb.Insts = append(bb.Insts, StaticInst{
+			PC:     start + Addr(i)*InstBytes,
+			Class:  cls,
+			Target: tgt,
+			Src1:   RegZero, Src2: RegZero, Dst: RegZero,
+		})
+	}
+	return bb
+}
+
+func TestBasicBlockAccessors(t *testing.T) {
+	bb := makeBlock(0x1000, 5, OpBranch, 0x2000)
+	if bb.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", bb.Len())
+	}
+	if bb.End() != 0x1000+5*InstBytes {
+		t.Errorf("End = %#x", bb.End())
+	}
+	if bb.LastPC() != 0x1010 {
+		t.Errorf("LastPC = %#x, want 0x1010", bb.LastPC())
+	}
+	term := bb.Terminator()
+	if term == nil || term.Class != OpBranch || term.Target != 0x2000 {
+		t.Errorf("Terminator = %+v", term)
+	}
+	empty := &BasicBlock{Start: 0x50}
+	if empty.Terminator() != nil {
+		t.Errorf("empty block terminator should be nil")
+	}
+	if empty.LastPC() != 0x50 {
+		t.Errorf("empty block LastPC = %#x", empty.LastPC())
+	}
+}
+
+func TestDictionaryAddAndLookup(t *testing.T) {
+	d := NewDictionary()
+	b1 := makeBlock(0x1000, 4, OpBranch, 0x2000)
+	b2 := makeBlock(0x2000, 6, OpJump, 0x1000)
+	if err := d.AddBlock(b1); err != nil {
+		t.Fatalf("AddBlock b1: %v", err)
+	}
+	if err := d.AddBlock(b2); err != nil {
+		t.Fatalf("AddBlock b2: %v", err)
+	}
+	d.SetEntry(0x1000)
+
+	if d.Entry() != 0x1000 {
+		t.Errorf("Entry = %#x", d.Entry())
+	}
+	if d.BlockCount() != 2 {
+		t.Errorf("BlockCount = %d, want 2", d.BlockCount())
+	}
+	if d.InstCount() != 10 {
+		t.Errorf("InstCount = %d, want 10", d.InstCount())
+	}
+	if d.CodeBytes() != 40 {
+		t.Errorf("CodeBytes = %d, want 40", d.CodeBytes())
+	}
+	lo, hi := d.Bounds()
+	if lo != 0x1000 || hi != 0x2014 {
+		t.Errorf("Bounds = %#x, %#x", lo, hi)
+	}
+	if !d.Contains(0x1008) || d.Contains(0x3000) {
+		t.Errorf("Contains misbehaves")
+	}
+	if si := d.Inst(0x200c); si == nil || si.Class != OpALU {
+		t.Errorf("Inst(0x200c) = %+v", si)
+	}
+	if d.Inst(0x5000) != nil {
+		t.Errorf("Inst on unknown PC should be nil")
+	}
+	if d.Block(0x2000) != b2 || d.Block(0x2004) != nil {
+		t.Errorf("Block lookup wrong")
+	}
+	blocks := d.Blocks()
+	if len(blocks) != 2 || blocks[0].Start != 0x1000 || blocks[1].Start != 0x2000 {
+		t.Errorf("Blocks() = %+v", blocks)
+	}
+}
+
+func TestDictionaryAddBlockErrors(t *testing.T) {
+	d := NewDictionary()
+	if err := d.AddBlock(nil); err == nil {
+		t.Errorf("nil block should error")
+	}
+	if err := d.AddBlock(&BasicBlock{Start: 0x10}); err == nil {
+		t.Errorf("empty block should error")
+	}
+	good := makeBlock(0x1000, 3, OpJump, 0x2000)
+	if err := d.AddBlock(good); err != nil {
+		t.Fatalf("AddBlock: %v", err)
+	}
+	if err := d.AddBlock(makeBlock(0x1000, 2, OpJump, 0x3000)); err == nil {
+		t.Errorf("duplicate block start should error")
+	}
+	// Block with a misnumbered PC.
+	bad := makeBlock(0x4000, 3, OpJump, 0)
+	bad.Insts[1].PC = 0x9999
+	if err := d.AddBlock(bad); err == nil {
+		t.Errorf("misnumbered PC should error")
+	}
+	// Block with a control instruction before the terminator.
+	bad2 := makeBlock(0x5000, 3, OpJump, 0)
+	bad2.Insts[0].Class = OpBranch
+	if err := d.AddBlock(bad2); err == nil {
+		t.Errorf("early control instruction should error")
+	}
+}
+
+func TestDictionaryLines(t *testing.T) {
+	d := NewDictionary()
+	// 20 instructions starting at 0x1000 span 2 lines (0x1000, 0x1040).
+	if err := d.AddBlock(makeBlock(0x1000, 20, OpJump, 0x1000)); err != nil {
+		t.Fatal(err)
+	}
+	lines := d.Lines(64)
+	if len(lines) != 2 || lines[0] != 0x1000 || lines[1] != 0x1040 {
+		t.Errorf("Lines = %#v", lines)
+	}
+}
+
+func TestDictionaryNextPC(t *testing.T) {
+	d := NewDictionary()
+	bb := makeBlock(0x1000, 2, OpBranch, 0x2000)
+	jmp := makeBlock(0x3000, 1, OpJump, 0x4000)
+	call := makeBlock(0x5000, 1, OpCall, 0x6000)
+	ret := makeBlock(0x7000, 1, OpReturn, 0)
+	for _, b := range []*BasicBlock{bb, jmp, call, ret} {
+		if err := d.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		pc       Addr
+		taken    bool
+		returnTo Addr
+		want     Addr
+	}{
+		{0x1000, true, 0, 0x1004},  // non-control: fall through regardless of taken
+		{0x1004, true, 0, 0x2000},  // taken branch
+		{0x1004, false, 0, 0x1008}, // not-taken branch
+		{0x3000, false, 0, 0x4000}, // jump always taken
+		{0x5000, false, 0, 0x6000}, // call always taken
+		{0x7000, false, 0xabc0, 0xabc0},
+	}
+	for _, c := range cases {
+		got, ok := d.NextPC(c.pc, c.taken, c.returnTo)
+		if !ok || got != c.want {
+			t.Errorf("NextPC(%#x, %v) = %#x, %v; want %#x", c.pc, c.taken, got, ok, c.want)
+		}
+	}
+	if _, ok := d.NextPC(0xdead, false, 0); ok {
+		t.Errorf("NextPC on unknown PC should report !ok")
+	}
+}

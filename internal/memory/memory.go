@@ -1,0 +1,491 @@
+// Package memory composes the cache hierarchy of the simulated processor:
+// an optional L0 instruction cache, the L1 instruction cache, the L1 data
+// cache, the unified L2 and main memory, connected to the L2 by a single
+// bus arbitrated one request per cycle with the paper's priority order
+// (data cache > instruction cache > prefetcher).
+//
+// The hierarchy answers three kinds of accesses — demand instruction
+// fetches, instruction prefetches and data accesses — as Request objects
+// whose ReadyAt cycle is resolved either immediately (hits in L0/L1) or when
+// the bus grants the request and the L2/memory latency elapses.
+package memory
+
+import (
+	"fmt"
+
+	"clgp/internal/bus"
+	"clgp/internal/cache"
+	"clgp/internal/cacti"
+	"clgp/internal/isa"
+	"clgp/internal/stats"
+)
+
+// Kind classifies a hierarchy access.
+type Kind int
+
+const (
+	// KindIFetch is a demand instruction fetch.
+	KindIFetch Kind = iota
+	// KindIPrefetch is an instruction prefetch.
+	KindIPrefetch
+	// KindData is a load/store data access.
+	KindData
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindIFetch:
+		return "ifetch"
+	case KindIPrefetch:
+		return "iprefetch"
+	case KindData:
+		return "data"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Request is one access in flight (or already satisfied).
+type Request struct {
+	// Line is the (line-aligned) address requested.
+	Line isa.Addr
+	// Kind is the access kind.
+	Kind Kind
+	// Source is the deepest hierarchy level that supplies the data. For
+	// unscheduled requests it is the level determined so far (L2 or memory
+	// resolution happens at bus-grant time).
+	Source stats.Source
+	// FillL1 and FillL0 request that the line be installed in the L1 / L0
+	// instruction caches when the data arrives (demand-miss policy).
+	FillL1, FillL0 bool
+
+	scheduled bool
+	readyAt   uint64
+	issuedAt  uint64
+}
+
+// Scheduled reports whether the completion time is known yet.
+func (r *Request) Scheduled() bool { return r.scheduled }
+
+// ReadyAt returns the completion cycle (only meaningful once Scheduled).
+func (r *Request) ReadyAt() uint64 { return r.readyAt }
+
+// Ready reports whether the data is available at cycle now.
+func (r *Request) Ready(now uint64) bool { return r.scheduled && now >= r.readyAt }
+
+// Config describes the hierarchy for one simulated configuration.
+type Config struct {
+	// Tech selects the technology node (latencies via cacti).
+	Tech cacti.Tech
+	// LineBytes is the L1/L0 line size (Table 2: 64B).
+	LineBytes int
+
+	// L1ISize, L1IAssoc configure the L1 instruction cache. L1ILatency of 0
+	// means "use Table 3 for the size and node". L1IPipelined selects a
+	// pipelined L1 I-cache.
+	L1ISize      int
+	L1IAssoc     int
+	L1ILatency   int
+	L1IPipelined bool
+
+	// L0Size of 0 disables the L0; otherwise the L0 is a one-cycle cache.
+	L0Size  int
+	L0Assoc int
+
+	// L1DSize etc. configure the data cache (Table 2: 32KB, 2-way, 1 cycle).
+	L1DSize    int
+	L1DAssoc   int
+	L1DLatency int
+	L1DPorts   int
+
+	// L2Size etc. configure the unified L2 (Table 2: 1MB, 2-way, 128B lines).
+	L2Size      int
+	L2Assoc     int
+	L2LineBytes int
+	L2Latency   int
+
+	// MemLatency is the main memory latency (Table 2: 200 cycles).
+	MemLatency int
+
+	// PrefetchFromL1 selects where prefetches look first: with an L0
+	// present, prefetch requests are served by the L1 if it holds the line
+	// (Section 3.1.1/3.2.4); without an L0 they go straight to the L2.
+	PrefetchFromL1 bool
+
+	// IdealICache makes every instruction fetch a one-cycle L1 hit
+	// (Figure 1's "ideal" curve).
+	IdealICache bool
+}
+
+// DefaultConfig returns the Table 2 memory configuration for the given node
+// and L1 I-cache size.
+func DefaultConfig(tech cacti.Tech, l1iSize int) Config {
+	return Config{
+		Tech:        tech,
+		LineBytes:   64,
+		L1ISize:     l1iSize,
+		L1IAssoc:    2,
+		L1DSize:     32 << 10,
+		L1DAssoc:    2,
+		L1DLatency:  1,
+		L1DPorts:    2,
+		L2Size:      1 << 20,
+		L2Assoc:     2,
+		L2LineBytes: 128,
+		MemLatency:  cacti.MemoryLatency(),
+	}
+}
+
+func (c Config) normalise() (Config, error) {
+	if !c.Tech.Valid() {
+		return c, fmt.Errorf("memory: invalid technology node %v", c.Tech)
+	}
+	if c.LineBytes <= 0 {
+		c.LineBytes = 64
+	}
+	if c.L1ISize <= 0 {
+		return c, fmt.Errorf("memory: L1 I-cache size must be positive, got %d", c.L1ISize)
+	}
+	if c.L1IAssoc <= 0 {
+		c.L1IAssoc = 2
+	}
+	if c.L1ILatency <= 0 {
+		c.L1ILatency = cacti.CacheLatency(c.L1ISize, c.Tech)
+	}
+	if c.L0Size < 0 {
+		return c, fmt.Errorf("memory: L0 size must be non-negative, got %d", c.L0Size)
+	}
+	if c.L0Size > 0 && c.L0Assoc <= 0 {
+		c.L0Assoc = 0 // fully associative
+	}
+	if c.L1DSize <= 0 {
+		c.L1DSize = 32 << 10
+	}
+	if c.L1DAssoc <= 0 {
+		c.L1DAssoc = 2
+	}
+	if c.L1DLatency <= 0 {
+		c.L1DLatency = 1
+	}
+	if c.L1DPorts <= 0 {
+		c.L1DPorts = 2
+	}
+	if c.L2Size <= 0 {
+		c.L2Size = 1 << 20
+	}
+	if c.L2Assoc <= 0 {
+		c.L2Assoc = 2
+	}
+	if c.L2LineBytes <= 0 {
+		c.L2LineBytes = 128
+	}
+	if c.L2Latency <= 0 {
+		c.L2Latency = cacti.L2Latency(c.Tech)
+	}
+	if c.MemLatency <= 0 {
+		c.MemLatency = cacti.MemoryLatency()
+	}
+	return c, nil
+}
+
+// Hierarchy is the composed memory system.
+type Hierarchy struct {
+	cfg Config
+
+	l0  *cache.Cache // nil when disabled
+	l1i *cache.Cache
+	l1d *cache.Cache
+	l2  *cache.Cache
+
+	arb     *bus.Arbiter
+	waiting map[uint64]*Request // keyed by arbitration tag
+	nextTag uint64
+
+	// statistics
+	l2IAccesses, l2IMisses uint64
+	memIAccesses           uint64
+	busConflictCycles      uint64
+}
+
+// New builds the hierarchy from cfg.
+func New(cfg Config) (*Hierarchy, error) {
+	cfg, err := cfg.normalise()
+	if err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{cfg: cfg, arb: bus.New(), waiting: make(map[uint64]*Request)}
+
+	h.l1i, err = cache.New(cache.Config{
+		Name: "L1I", SizeBytes: cfg.L1ISize, LineBytes: cfg.LineBytes, Assoc: cfg.L1IAssoc,
+		Latency: cfg.L1ILatency, Pipelined: cfg.L1IPipelined, Ports: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.L0Size > 0 {
+		h.l0, err = cache.New(cache.Config{
+			Name: "L0", SizeBytes: cfg.L0Size, LineBytes: cfg.LineBytes, Assoc: cfg.L0Assoc,
+			Latency: 1, Pipelined: true, Ports: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	h.l1d, err = cache.New(cache.Config{
+		Name: "L1D", SizeBytes: cfg.L1DSize, LineBytes: cfg.LineBytes, Assoc: cfg.L1DAssoc,
+		Latency: cfg.L1DLatency, Pipelined: true, Ports: cfg.L1DPorts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.l2, err = cache.New(cache.Config{
+		Name: "L2", SizeBytes: cfg.L2Size, LineBytes: cfg.L2LineBytes, Assoc: cfg.L2Assoc,
+		Latency: cfg.L2Latency, Pipelined: true, Ports: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(cfg Config) *Hierarchy {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Config returns the normalised configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// L1I, L0, L1D, L2 expose the underlying caches (read-mostly: probing and
+// statistics; the prefetch engines use L1I.Probe for FDP filtering).
+func (h *Hierarchy) L1I() *cache.Cache { return h.l1i }
+
+// L0 returns the L0 cache, or nil when disabled.
+func (h *Hierarchy) L0() *cache.Cache { return h.l0 }
+
+// L1D returns the L1 data cache.
+func (h *Hierarchy) L1D() *cache.Cache { return h.l1d }
+
+// L2 returns the unified L2 cache.
+func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
+
+// HasL0 reports whether an L0 is configured.
+func (h *Hierarchy) HasL0() bool { return h.l0 != nil }
+
+// LineAddr aligns an address to the L1 line size.
+func (h *Hierarchy) LineAddr(a isa.Addr) isa.Addr { return isa.LineAddr(a, h.cfg.LineBytes) }
+
+// enqueueBus registers a request that needs the L2 bus.
+func (h *Hierarchy) enqueueBus(r *Request, from bus.Requester, now uint64) {
+	h.nextTag++
+	tag := h.nextTag
+	h.waiting[tag] = r
+	r.issuedAt = now
+	h.arb.Enqueue(bus.Request{From: from, Tag: tag, Enqueued: now})
+}
+
+// AccessIFetch performs a demand instruction fetch for the line containing
+// addr at cycle now. The L0 (if present) and L1 are looked up in parallel;
+// on a miss in both, the request goes to the L2 over the bus. fillL1/fillL0
+// select the demand-fill policy applied when the data arrives from L2 or
+// memory.
+func (h *Hierarchy) AccessIFetch(addr isa.Addr, now uint64, fillL1, fillL0 bool) *Request {
+	line := h.LineAddr(addr)
+	r := &Request{Line: line, Kind: KindIFetch, FillL1: fillL1, FillL0: fillL0}
+
+	if h.cfg.IdealICache {
+		// Figure 1 "ideal": every fetch is a one-cycle L1 hit.
+		h.l1i.Lookup(line)
+		h.l1i.Insert(line)
+		r.Source = stats.SrcL1
+		r.scheduled = true
+		r.readyAt = now + 1
+		return r
+	}
+
+	l0Hit := false
+	if h.l0 != nil {
+		l0Hit = h.l0.Lookup(line)
+	}
+	l1Hit := h.l1i.Lookup(line)
+
+	switch {
+	case l0Hit:
+		r.Source = stats.SrcL0
+		r.scheduled = true
+		r.readyAt = now + uint64(h.l0.Latency())
+	case l1Hit:
+		r.Source = stats.SrcL1
+		start := now
+		if !h.l1i.Pipelined() && h.l1i.BusyUntil() > start {
+			start = h.l1i.BusyUntil()
+		}
+		done, ok := h.l1i.StartAccess(start)
+		if !ok {
+			// Port conflict within the same cycle: retry next cycle.
+			done, _ = h.l1i.StartAccess(start + 1)
+		}
+		r.scheduled = true
+		r.readyAt = done
+		// A demand L1 hit also refreshes the L0 when one is present (the L0
+		// captures recently fetched lines, filter-cache style).
+		if fillL0 && h.l0 != nil {
+			h.l0.Insert(line)
+		}
+	default:
+		// Miss in L0 and L1: go to the L2 over the bus.
+		r.Source = stats.SrcL2 // provisional; resolved at grant time
+		h.enqueueBus(r, bus.ReqICache, now)
+	}
+	return r
+}
+
+// AccessIPrefetch requests a prefetch of the line containing addr at cycle
+// now. With PrefetchFromL1 set and the line resident in L1, the prefetch is
+// served by the L1; otherwise it is sent to the L2 over the bus (lowest
+// priority).
+func (h *Hierarchy) AccessIPrefetch(addr isa.Addr, now uint64) *Request {
+	line := h.LineAddr(addr)
+	r := &Request{Line: line, Kind: KindIPrefetch}
+
+	if h.cfg.PrefetchFromL1 && h.l1i.Probe(line) {
+		r.Source = stats.SrcL1
+		r.scheduled = true
+		r.readyAt = now + uint64(h.l1i.Latency())
+		return r
+	}
+	r.Source = stats.SrcL2 // provisional
+	h.enqueueBus(r, bus.ReqPrefetch, now)
+	return r
+}
+
+// AccessData performs a load/store access at cycle now. Stores are treated
+// as writes that hit or allocate in the L1D; loads that miss go to the L2
+// over the bus with the highest priority.
+func (h *Hierarchy) AccessData(addr isa.Addr, now uint64, isStore bool) *Request {
+	line := isa.LineAddr(addr, h.cfg.LineBytes)
+	r := &Request{Line: line, Kind: KindData}
+	hit := h.l1d.Lookup(line)
+	if hit || isStore {
+		if !hit {
+			// Write-allocate without stalling the store.
+			h.l1d.Insert(line)
+		}
+		r.Source = stats.SrcL1
+		r.scheduled = true
+		r.readyAt = now + uint64(h.l1d.Latency())
+		return r
+	}
+	r.Source = stats.SrcL2 // provisional
+	h.enqueueBus(r, bus.ReqDCache, now)
+	return r
+}
+
+// Tick advances the bus by one cycle: at most one waiting request is granted
+// and scheduled (L2 lookup, memory on L2 miss, fills). It must be called
+// once per simulated cycle.
+func (h *Hierarchy) Tick(now uint64) {
+	if h.arb.Pending() > 1 {
+		h.busConflictCycles++
+	}
+	req, ok := h.arb.Grant(now)
+	if !ok {
+		return
+	}
+	r := h.waiting[req.Tag]
+	delete(h.waiting, req.Tag)
+	if r == nil {
+		return
+	}
+	h.schedule(r, now)
+}
+
+// schedule resolves a bus-granted request against the L2 and memory.
+func (h *Hierarchy) schedule(r *Request, now uint64) {
+	l2Line := isa.LineAddr(r.Line, h.cfg.L2LineBytes)
+	l2Hit := h.l2.Lookup(l2Line)
+	if r.Kind != KindData {
+		h.l2IAccesses++
+	}
+	if l2Hit {
+		r.Source = stats.SrcL2
+		r.readyAt = now + uint64(h.cfg.L2Latency)
+	} else {
+		if r.Kind != KindData {
+			h.l2IMisses++
+			h.memIAccesses++
+		}
+		r.Source = stats.SrcMem
+		r.readyAt = now + uint64(h.cfg.L2Latency) + uint64(h.cfg.MemLatency)
+		h.l2.Insert(l2Line)
+	}
+	r.scheduled = true
+
+	switch r.Kind {
+	case KindIFetch:
+		if r.FillL1 {
+			h.l1i.Insert(r.Line)
+		}
+		if r.FillL0 && h.l0 != nil {
+			h.l0.Insert(r.Line)
+		}
+	case KindData:
+		h.l1d.Insert(r.Line)
+	case KindIPrefetch:
+		// Prefetch fills are the caller's responsibility (they go into the
+		// pre-buffer, not the caches).
+	}
+}
+
+// PendingBusRequests returns the number of requests waiting for the bus.
+func (h *Hierarchy) PendingBusRequests() int { return h.arb.Pending() }
+
+// CancelPrefetches drops all prefetch requests still waiting for the bus
+// (used on a misprediction flush). Requests already granted complete
+// normally. It returns the number of cancelled requests.
+func (h *Hierarchy) CancelPrefetches() int {
+	n := h.arb.Flush(bus.ReqPrefetch)
+	for tag, r := range h.waiting {
+		if r.Kind == KindIPrefetch && !r.scheduled {
+			delete(h.waiting, tag)
+		}
+	}
+	return n
+}
+
+// InsertL0 installs a line into the L0 cache if one is configured (used by
+// FDP when a prefetch-buffer hit moves the line into the L0).
+func (h *Hierarchy) InsertL0(addr isa.Addr) {
+	if h.l0 != nil {
+		h.l0.Insert(h.LineAddr(addr))
+	}
+}
+
+// InsertL1I installs a line into the L1 instruction cache (used by FDP when
+// a prefetch-buffer hit moves the line into the L1 in the no-L0 variant).
+func (h *Hierarchy) InsertL1I(addr isa.Addr) {
+	h.l1i.Insert(h.LineAddr(addr))
+}
+
+// Stats fills the hierarchy-owned counters of a results record.
+func (h *Hierarchy) Stats(r *stats.Results) {
+	r.L1Accesses = h.l1i.Accesses()
+	r.L1Misses = h.l1i.Misses()
+	if h.l0 != nil {
+		r.L0Accesses = h.l0.Accesses()
+		r.L0Misses = h.l0.Misses()
+	}
+	r.L2Accesses = h.l2IAccesses
+	r.L2Misses = h.l2IMisses
+	r.DCacheAccesses = h.l1d.Accesses()
+	r.DCacheMisses = h.l1d.Misses()
+	r.BusConflicts = h.busConflictCycles
+}
+
+// L1ILatency returns the configured L1 I-cache latency.
+func (h *Hierarchy) L1ILatency() int { return h.l1i.Latency() }

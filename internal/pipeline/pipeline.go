@@ -1,0 +1,309 @@
+// Package pipeline models the back-end of the simulated processor: a
+// 4-wide, 15-stage machine with a 64-entry register update unit (RUU), as
+// configured in Table 2 of the paper. The front-end (package core) delivers
+// decoded instructions; the back-end models dispatch, data-dependence-aware
+// issue, execution latencies, data-cache accesses, in-order commit, and
+// branch resolution, which is when misprediction recovery is triggered.
+//
+// The model is deliberately simpler than the front-end — the paper's
+// contribution is in instruction delivery — but it preserves the properties
+// the evaluation depends on: the commit width caps IPC at 4, long-latency
+// loads and dependence chains limit achievable IPC per benchmark, the RUU
+// fills up and back-pressures fetch, and a mispredicted branch is only
+// resolved when it executes, several cycles after it was fetched, so deeper
+// effective front-ends (slower caches) pay a larger misprediction penalty.
+package pipeline
+
+import (
+	"fmt"
+
+	"clgp/internal/isa"
+	"clgp/internal/memory"
+)
+
+// DynInst is one in-flight dynamic instruction.
+type DynInst struct {
+	// Static is the decoded static instruction.
+	Static *isa.StaticInst
+	// Seq is a global sequence number assigned by the front-end.
+	Seq uint64
+	// WrongPath marks instructions fetched down a mispredicted path; they
+	// occupy resources but are never committed.
+	WrongPath bool
+	// MispredictedBranch marks the branch whose resolution triggers
+	// recovery.
+	MispredictedBranch bool
+	// EffAddr is the effective address for loads and stores.
+	EffAddr isa.Addr
+	// FetchedAt is the cycle the instruction left the fetch stage.
+	FetchedAt uint64
+
+	state     instState
+	issueAt   uint64
+	completAt uint64
+	memReq    *memory.Request
+	// deps are the in-flight producers of this instruction's source
+	// registers; the instruction may issue only once both have completed.
+	deps [2]*DynInst
+}
+
+type instState uint8
+
+const (
+	stateDispatched instState = iota
+	stateIssued
+	stateWaitingMem
+	stateCompleted
+)
+
+// Completed reports whether the instruction has finished execution.
+func (d *DynInst) Completed() bool { return d.state == stateCompleted }
+
+// Config sizes the back-end.
+type Config struct {
+	// Width is the dispatch/issue/commit width (Table 2: 4).
+	Width int
+	// RUUSize is the register update unit capacity (Table 2: 64).
+	RUUSize int
+	// PipelineDepth is the nominal total pipeline depth (Table 2: 15); the
+	// portion behind dispatch sets the minimum dispatch-to-execute delay.
+	PipelineDepth int
+	// FrontEndStages is the number of stages ahead of dispatch (prediction,
+	// fetch, decode); the back-end charges the remaining depth.
+	FrontEndStages int
+}
+
+// DefaultConfig returns the Table 2 back-end configuration.
+func DefaultConfig() Config {
+	return Config{Width: 4, RUUSize: 64, PipelineDepth: 15, FrontEndStages: 7}
+}
+
+func (c Config) normalise() (Config, error) {
+	if c.Width <= 0 {
+		return c, fmt.Errorf("pipeline: width must be positive, got %d", c.Width)
+	}
+	if c.RUUSize < c.Width {
+		return c, fmt.Errorf("pipeline: RUU size %d smaller than width %d", c.RUUSize, c.Width)
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 15
+	}
+	if c.FrontEndStages <= 0 || c.FrontEndStages >= c.PipelineDepth {
+		c.FrontEndStages = c.PipelineDepth / 2
+	}
+	return c, nil
+}
+
+// issueDelay is the number of cycles between dispatch and the earliest
+// possible issue, representing the rename/schedule stages of the back half
+// of the pipeline.
+func (c Config) issueDelay() uint64 {
+	d := c.PipelineDepth - c.FrontEndStages - 3 // minus execute/writeback/commit
+	if d < 1 {
+		d = 1
+	}
+	return uint64(d)
+}
+
+// Backend is the back-end model.
+type Backend struct {
+	cfg Config
+	mem *memory.Hierarchy
+
+	ruu []*DynInst // in program order; index 0 is the oldest
+
+	// regProducer tracks, per architectural register, the most recently
+	// dispatched correct-path instruction that writes it (the scoreboard).
+	regProducer [isa.NumRegs]*DynInst
+
+	// statistics
+	committed    uint64
+	wrongSquash  uint64
+	loadsExec    uint64
+	storesExec   uint64
+	resolvedMisp uint64
+}
+
+// New creates a back-end bound to the given memory hierarchy (for data-cache
+// accesses; may be nil in unit tests that use no memory instructions).
+func New(cfg Config, mem *memory.Hierarchy) (*Backend, error) {
+	cfg, err := cfg.normalise()
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{cfg: cfg, mem: mem}, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(cfg Config, mem *memory.Hierarchy) *Backend {
+	b, err := New(cfg, mem)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Config returns the normalised configuration.
+func (b *Backend) Config() Config { return b.cfg }
+
+// FreeSlots returns how many instructions can currently be dispatched.
+func (b *Backend) FreeSlots() int { return b.cfg.RUUSize - len(b.ruu) }
+
+// Occupancy returns the number of instructions in the RUU.
+func (b *Backend) Occupancy() int { return len(b.ruu) }
+
+// Committed returns the number of committed (correct-path) instructions.
+func (b *Backend) Committed() uint64 { return b.committed }
+
+// SquashedWrongPath returns the number of wrong-path instructions removed.
+func (b *Backend) SquashedWrongPath() uint64 { return b.wrongSquash }
+
+// ResolvedMispredictions returns how many mispredicted branches resolved.
+func (b *Backend) ResolvedMispredictions() uint64 { return b.resolvedMisp }
+
+// Dispatch inserts an instruction into the RUU at cycle now. It returns
+// false when the RUU is full (the caller must retry next cycle). At most
+// Width instructions should be dispatched per cycle; the caller enforces
+// that (it is the same limit as the fetch width).
+func (b *Backend) Dispatch(d *DynInst, now uint64) bool {
+	if len(b.ruu) >= b.cfg.RUUSize {
+		return false
+	}
+	d.state = stateDispatched
+	d.issueAt = now + b.cfg.issueDelay()
+	if !d.WrongPath {
+		// Data dependences: remember the in-flight producers of the source
+		// registers; issue waits for them to complete.
+		if d.Static.Src1 != isa.RegZero {
+			d.deps[0] = b.regProducer[d.Static.Src1]
+		}
+		if d.Static.Src2 != isa.RegZero {
+			d.deps[1] = b.regProducer[d.Static.Src2]
+		}
+		if d.Static.Dst != isa.RegZero {
+			b.regProducer[d.Static.Dst] = d
+		}
+	}
+	b.ruu = append(b.ruu, d)
+	return true
+}
+
+// depsReady reports whether every source producer of d has completed by
+// cycle now.
+func depsReady(d *DynInst, now uint64) bool {
+	for _, p := range d.deps {
+		if p == nil {
+			continue
+		}
+		if p.state != stateCompleted || p.completAt > now {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick advances execution and commit by one cycle. It returns the
+// instructions committed this cycle and, if a mispredicted branch completed
+// execution this cycle, that branch (resolution); the caller then flushes
+// the front-end and calls SquashWrongPath.
+func (b *Backend) Tick(now uint64) (committed []*DynInst, resolved *DynInst) {
+	// Issue / execute.
+	issued := 0
+	for _, d := range b.ruu {
+		switch d.state {
+		case stateDispatched:
+			if issued >= b.cfg.Width || now < d.issueAt || !depsReady(d, now) {
+				continue
+			}
+			issued++
+			b.issue(d, now)
+		case stateWaitingMem:
+			if d.memReq != nil && d.memReq.Ready(now) {
+				d.completAt = now
+				b.finish(d)
+			}
+		case stateIssued:
+			if now >= d.completAt {
+				b.finish(d)
+			}
+		}
+		if d.state == stateCompleted && d.MispredictedBranch && resolved == nil && d.completAt == now {
+			resolved = d
+			b.resolvedMisp++
+		}
+	}
+
+	// In-order commit of up to Width completed correct-path instructions.
+	for len(b.ruu) > 0 && len(committed) < b.cfg.Width {
+		head := b.ruu[0]
+		if head.WrongPath || head.state != stateCompleted || head.completAt > now {
+			break
+		}
+		b.ruu = b.ruu[1:]
+		b.committed++
+		committed = append(committed, head)
+	}
+	return committed, resolved
+}
+
+// issue starts execution of d at cycle now.
+func (b *Backend) issue(d *DynInst, now uint64) {
+	cls := d.Static.Class
+	switch {
+	case cls == isa.OpLoad:
+		b.loadsExec++
+		if b.mem != nil && !d.WrongPath {
+			d.memReq = b.mem.AccessData(d.EffAddr, now, false)
+			d.state = stateWaitingMem
+			return
+		}
+		d.completAt = now + 1
+		d.state = stateIssued
+	case cls == isa.OpStore:
+		b.storesExec++
+		if b.mem != nil && !d.WrongPath {
+			// Stores complete immediately from the pipeline's perspective.
+			b.mem.AccessData(d.EffAddr, now, true)
+		}
+		d.completAt = now + 1
+		d.state = stateIssued
+	default:
+		d.completAt = now + uint64(cls.ExecLatency())
+		d.state = stateIssued
+	}
+}
+
+// finish marks an instruction complete.
+func (b *Backend) finish(d *DynInst) {
+	d.state = stateCompleted
+}
+
+// SquashWrongPath removes every wrong-path instruction from the RUU. The
+// core calls it when the mispredicted branch resolves. It returns the number
+// of squashed instructions.
+func (b *Backend) SquashWrongPath() int {
+	kept := b.ruu[:0]
+	n := 0
+	for _, d := range b.ruu {
+		if d.WrongPath {
+			n++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	b.ruu = kept
+	b.wrongSquash += uint64(n)
+	return n
+}
+
+// Drained reports whether the RUU is empty.
+func (b *Backend) Drained() bool { return len(b.ruu) == 0 }
+
+// OldestUncommitted returns the sequence number of the oldest instruction in
+// the RUU, or 0 and false when empty. Useful for debugging deadlocks.
+func (b *Backend) OldestUncommitted() (uint64, bool) {
+	if len(b.ruu) == 0 {
+		return 0, false
+	}
+	return b.ruu[0].Seq, true
+}

@@ -1,0 +1,340 @@
+package pipeline
+
+import (
+	"testing"
+
+	"clgp/internal/cacti"
+	"clgp/internal/isa"
+	"clgp/internal/memory"
+)
+
+func alu(pc isa.Addr, src1, src2, dst uint8) *isa.StaticInst {
+	return &isa.StaticInst{PC: pc, Class: isa.OpALU, Src1: src1, Src2: src2, Dst: dst}
+}
+
+func dyn(si *isa.StaticInst, seq uint64) *DynInst {
+	return &DynInst{Static: si, Seq: seq}
+}
+
+// run ticks the backend until all dispatched instructions commit or maxCycles
+// is reached, returning the cycle after the last commit.
+func runUntilDrained(t *testing.T, b *Backend, start uint64, maxCycles int) uint64 {
+	t.Helper()
+	now := start
+	for i := 0; i < maxCycles; i++ {
+		b.Tick(now)
+		if b.Drained() {
+			return now
+		}
+		now++
+	}
+	t.Fatalf("backend did not drain within %d cycles (occupancy %d)", maxCycles, b.Occupancy())
+	return now
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Width: 0, RUUSize: 64}, nil); err == nil {
+		t.Errorf("zero width should error")
+	}
+	if _, err := New(Config{Width: 8, RUUSize: 4}, nil); err == nil {
+		t.Errorf("RUU smaller than width should error")
+	}
+	b := MustNew(Config{Width: 4, RUUSize: 64}, nil)
+	cfg := b.Config()
+	if cfg.PipelineDepth != 15 || cfg.FrontEndStages != 7 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	def := DefaultConfig()
+	if def.Width != 4 || def.RUUSize != 64 || def.PipelineDepth != 15 {
+		t.Errorf("DefaultConfig does not match Table 2: %+v", def)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustNew should panic")
+		}
+	}()
+	MustNew(Config{Width: -1}, nil)
+}
+
+func TestDispatchCapacity(t *testing.T) {
+	b := MustNew(Config{Width: 4, RUUSize: 8}, nil)
+	if b.FreeSlots() != 8 {
+		t.Errorf("FreeSlots = %d", b.FreeSlots())
+	}
+	for i := 0; i < 8; i++ {
+		if !b.Dispatch(dyn(alu(isa.Addr(i*4), 1, 2, 3), uint64(i)), 0) {
+			t.Fatalf("dispatch %d should succeed", i)
+		}
+	}
+	if b.Dispatch(dyn(alu(0x100, 1, 2, 3), 99), 0) {
+		t.Errorf("dispatch into a full RUU should fail")
+	}
+	if b.FreeSlots() != 0 || b.Occupancy() != 8 {
+		t.Errorf("occupancy wrong")
+	}
+	if seq, ok := b.OldestUncommitted(); !ok || seq != 0 {
+		t.Errorf("OldestUncommitted = %d, %v", seq, ok)
+	}
+}
+
+func TestIndependentInstructionsCommitAtFullWidth(t *testing.T) {
+	b := MustNew(DefaultConfig(), nil)
+	const n = 40
+	for i := 0; i < n; i++ {
+		// All independent (distinct registers, sources from the zero reg).
+		si := alu(isa.Addr(i*4), isa.RegZero, isa.RegZero, uint8(1+i%30))
+		if !b.Dispatch(dyn(si, uint64(i)), 0) {
+			t.Fatalf("dispatch failed at %d", i)
+		}
+	}
+	totalCommitted := 0
+	maxPerCycle := 0
+	now := uint64(0)
+	for totalCommitted < n && now < 100 {
+		committed, _ := b.Tick(now)
+		if len(committed) > maxPerCycle {
+			maxPerCycle = len(committed)
+		}
+		totalCommitted += len(committed)
+		now++
+	}
+	if totalCommitted != n {
+		t.Fatalf("committed %d of %d", totalCommitted, n)
+	}
+	if maxPerCycle != 4 {
+		t.Errorf("max commits per cycle = %d, want 4", maxPerCycle)
+	}
+	if b.Committed() != n {
+		t.Errorf("Committed() = %d", b.Committed())
+	}
+}
+
+func TestCommitIsInOrder(t *testing.T) {
+	b := MustNew(DefaultConfig(), nil)
+	// First instruction is a long-latency FP op; the rest are independent
+	// ALU ops. Nothing may commit before the FP op does.
+	fp := &isa.StaticInst{PC: 0, Class: isa.OpFP, Src1: isa.RegZero, Src2: isa.RegZero, Dst: 5}
+	b.Dispatch(dyn(fp, 0), 0)
+	for i := 1; i < 10; i++ {
+		b.Dispatch(dyn(alu(isa.Addr(i*4), isa.RegZero, isa.RegZero, uint8(10+i)), uint64(i)), 0)
+	}
+	var order []uint64
+	for now := uint64(0); now < 60 && b.Occupancy() > 0; now++ {
+		committed, _ := b.Tick(now)
+		for _, d := range committed {
+			order = append(order, d.Seq)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("committed %d instructions", len(order))
+	}
+	for i, seq := range order {
+		if seq != uint64(i) {
+			t.Fatalf("commit order broken: position %d has seq %d", i, seq)
+		}
+	}
+}
+
+func TestDataDependenceSerialisation(t *testing.T) {
+	// A chain of dependent multiplies takes ~3 cycles each; independent ones
+	// overlap. The dependent chain must take notably longer.
+	depCycles := func(dependent bool) uint64 {
+		b := MustNew(DefaultConfig(), nil)
+		const n = 20
+		for i := 0; i < n; i++ {
+			src := uint8(isa.RegZero)
+			if dependent && i > 0 {
+				src = uint8(1 + (i-1)%30)
+			}
+			si := &isa.StaticInst{PC: isa.Addr(i * 4), Class: isa.OpMul, Src1: src, Src2: isa.RegZero, Dst: uint8(1 + i%30)}
+			b.Dispatch(dyn(si, uint64(i)), 0)
+		}
+		now := uint64(0)
+		for b.Occupancy() > 0 && now < 1000 {
+			b.Tick(now)
+			now++
+		}
+		return now
+	}
+	dep := depCycles(true)
+	indep := depCycles(false)
+	if dep <= indep+20 {
+		t.Errorf("dependent chain (%d cycles) should be much slower than independent (%d cycles)", dep, indep)
+	}
+}
+
+func TestLoadsAccessTheDataCache(t *testing.T) {
+	mem := memory.MustNew(memory.DefaultConfig(cacti.Tech45, 4<<10))
+	b := MustNew(DefaultConfig(), mem)
+	ld := &isa.StaticInst{PC: 0, Class: isa.OpLoad, Src1: isa.RegZero, Src2: isa.RegZero, Dst: 7}
+	d := dyn(ld, 0)
+	d.EffAddr = 0x9000_0000
+	b.Dispatch(d, 0)
+	now := uint64(0)
+	for b.Occupancy() > 0 && now < 1000 {
+		mem.Tick(now)
+		b.Tick(now)
+		now++
+	}
+	if b.Occupancy() != 0 {
+		t.Fatalf("load never completed")
+	}
+	// A cold load must take at least the L2+memory latency.
+	if now < 200 {
+		t.Errorf("cold load committed after only %d cycles", now)
+	}
+	if mem.L1D().Accesses() == 0 {
+		t.Errorf("the load should have accessed the D-cache")
+	}
+	// A second load to the same line is fast.
+	b2 := MustNew(DefaultConfig(), mem)
+	d2 := dyn(ld, 1)
+	d2.EffAddr = 0x9000_0008
+	b2.Dispatch(d2, 1000)
+	start := uint64(1000)
+	end := runUntilDrained(t, b2, start, 100)
+	if end-start > 20 {
+		t.Errorf("warm load took %d cycles", end-start)
+	}
+}
+
+func TestStoresDoNotBlockCommit(t *testing.T) {
+	mem := memory.MustNew(memory.DefaultConfig(cacti.Tech45, 4<<10))
+	b := MustNew(DefaultConfig(), mem)
+	st := &isa.StaticInst{PC: 0, Class: isa.OpStore, Src1: 3, Src2: isa.RegZero, Dst: isa.RegZero}
+	d := dyn(st, 0)
+	d.EffAddr = 0xa000_0000
+	b.Dispatch(d, 0)
+	end := runUntilDrained(t, b, 0, 50)
+	if end > 20 {
+		t.Errorf("store took %d cycles to commit", end)
+	}
+}
+
+func TestMispredictedBranchResolution(t *testing.T) {
+	b := MustNew(DefaultConfig(), nil)
+	// Correct-path branch marked mispredicted, followed by wrong-path
+	// instructions.
+	br := &isa.StaticInst{PC: 0x100, Class: isa.OpBranch, Src1: 2, Src2: isa.RegZero, Dst: isa.RegZero, Target: 0x500}
+	bd := dyn(br, 0)
+	bd.MispredictedBranch = true
+	b.Dispatch(bd, 0)
+	for i := 1; i <= 6; i++ {
+		wd := dyn(alu(isa.Addr(0x200+i*4), isa.RegZero, isa.RegZero, uint8(i)), uint64(i))
+		wd.WrongPath = true
+		b.Dispatch(wd, 0)
+	}
+
+	var resolvedAt uint64
+	var resolved *DynInst
+	now := uint64(0)
+	for ; now < 100; now++ {
+		_, r := b.Tick(now)
+		if r != nil {
+			resolved = r
+			resolvedAt = now
+			break
+		}
+	}
+	if resolved == nil {
+		t.Fatalf("misprediction never resolved")
+	}
+	if resolved.Seq != 0 {
+		t.Errorf("resolved the wrong instruction: seq %d", resolved.Seq)
+	}
+	// Resolution must take at least the dispatch-to-execute portion of the
+	// 15-stage pipeline.
+	if resolvedAt < b.Config().issueDelay() {
+		t.Errorf("resolved at cycle %d, before the issue delay %d", resolvedAt, b.Config().issueDelay())
+	}
+	// Squash the wrong path: they never commit.
+	n := b.SquashWrongPath()
+	if n != 6 {
+		t.Errorf("squashed %d, want 6", n)
+	}
+	if b.SquashedWrongPath() != 6 {
+		t.Errorf("SquashedWrongPath = %d", b.SquashedWrongPath())
+	}
+	// Only the branch itself ever commits (it may already have committed in
+	// the same cycle it resolved).
+	for ; now < 200 && b.Occupancy() > 0; now++ {
+		b.Tick(now)
+	}
+	if b.Committed() != 1 {
+		t.Errorf("committed %d instructions, want only the branch", b.Committed())
+	}
+	if b.ResolvedMispredictions() != 1 {
+		t.Errorf("ResolvedMispredictions = %d", b.ResolvedMispredictions())
+	}
+}
+
+func TestWrongPathInstructionsNeverCommit(t *testing.T) {
+	b := MustNew(DefaultConfig(), nil)
+	w := dyn(alu(0x10, isa.RegZero, isa.RegZero, 3), 0)
+	w.WrongPath = true
+	b.Dispatch(w, 0)
+	c := dyn(alu(0x14, isa.RegZero, isa.RegZero, 4), 1)
+	b.Dispatch(c, 0)
+	// Even after many cycles the wrong-path head blocks commit; nothing is
+	// committed until the squash.
+	for now := uint64(0); now < 30; now++ {
+		committed, _ := b.Tick(now)
+		if len(committed) != 0 {
+			t.Fatalf("committed %d instructions past a wrong-path head", len(committed))
+		}
+	}
+	b.SquashWrongPath()
+	total := 0
+	for now := uint64(30); now < 60 && b.Occupancy() > 0; now++ {
+		committed, _ := b.Tick(now)
+		total += len(committed)
+	}
+	if total != 1 {
+		t.Errorf("committed %d, want 1 after squash", total)
+	}
+}
+
+func TestWrongPathDoesNotPolluteScoreboard(t *testing.T) {
+	b := MustNew(DefaultConfig(), nil)
+	// A wrong-path FP instruction writes r5 very late; a correct-path ALU
+	// instruction reading r5 must not wait for it.
+	w := dyn(&isa.StaticInst{PC: 0, Class: isa.OpFP, Src1: isa.RegZero, Src2: isa.RegZero, Dst: 5}, 0)
+	w.WrongPath = true
+	b.Dispatch(w, 0)
+	c := dyn(alu(0x4, 5, isa.RegZero, 6), 1)
+	b.Dispatch(c, 0)
+	b.SquashWrongPath()
+	end := runUntilDrained(t, b, 0, 40)
+	if end > 20 {
+		t.Errorf("correct-path instruction waited %d cycles on a squashed producer", end)
+	}
+}
+
+func TestIPCIsBoundedByWidth(t *testing.T) {
+	b := MustNew(DefaultConfig(), nil)
+	const n = 400
+	dispatched := 0
+	committed := 0
+	now := uint64(0)
+	for committed < n && now < 10000 {
+		// Dispatch up to 4 independent instructions per cycle.
+		for w := 0; w < 4 && dispatched < n && b.FreeSlots() > 0; w++ {
+			si := alu(isa.Addr(dispatched*4), isa.RegZero, isa.RegZero, uint8(1+dispatched%30))
+			b.Dispatch(dyn(si, uint64(dispatched)), now)
+			dispatched++
+		}
+		c, _ := b.Tick(now)
+		committed += len(c)
+		now++
+	}
+	ipc := float64(committed) / float64(now)
+	if ipc > 4.0 {
+		t.Errorf("IPC %.2f exceeds the machine width", ipc)
+	}
+	if ipc < 2.0 {
+		t.Errorf("IPC %.2f is unreasonably low for independent ALU instructions", ipc)
+	}
+}

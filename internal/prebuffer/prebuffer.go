@@ -1,0 +1,374 @@
+// Package prebuffer implements the two fully-associative line buffers the
+// paper compares:
+//
+//   - PrefetchBuffer: the classic FDP prefetch buffer. Entries are marked
+//     available as soon as they are used once; on use the line is moved to
+//     the I-cache (or L0) by the caller.
+//   - PrestageBuffer: the paper's contribution. Each entry carries a
+//     consumers counter that tracks how many CLTQ entries still reference
+//     the line; the entry becomes replaceable only when the counter drops to
+//     zero, and used lines are NOT transferred to the cache hierarchy.
+//
+// Both buffers share the timing model of a small fully-associative
+// structure: a fixed access latency (1 cycle when the buffer fits the
+// one-cycle capacity of the technology node, or a pipelined multi-cycle
+// access for the 16-entry configuration).
+package prebuffer
+
+import (
+	"fmt"
+
+	"clgp/internal/isa"
+)
+
+// Entry is the externally visible state of one buffer entry, used by tests
+// and debugging tools.
+type Entry struct {
+	// Line is the cache-line address held (or being fetched) by the entry.
+	Line isa.Addr
+	// Valid indicates the line data has arrived from the hierarchy.
+	Valid bool
+	// Pending indicates the entry is allocated but data has not arrived yet.
+	Pending bool
+	// Consumers is the consumers counter (always 0 for a PrefetchBuffer).
+	Consumers int
+	// Used reports whether the line was fetched at least once.
+	Used bool
+}
+
+// entry is the internal representation.
+type entry struct {
+	line      isa.Addr
+	allocated bool
+	valid     bool // data arrived
+	consumers int
+	used      bool
+	lru       uint64
+	available bool // FDP: freed after first use
+}
+
+// Buffer is the common mechanics shared by both buffer flavours.
+type Buffer struct {
+	name    string
+	entries []entry
+	stamp   uint64
+	latency int
+
+	// statistics
+	hits      uint64
+	misses    uint64
+	allocs    uint64
+	evictions uint64
+	usedLines uint64
+}
+
+func newBuffer(name string, entries, latency int) (*Buffer, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("prebuffer %s: entry count must be positive, got %d", name, entries)
+	}
+	if latency < 1 {
+		latency = 1
+	}
+	return &Buffer{name: name, entries: make([]entry, entries), latency: latency}, nil
+}
+
+// Size returns the number of entries.
+func (b *Buffer) Size() int { return len(b.entries) }
+
+// Latency returns the access latency in cycles.
+func (b *Buffer) Latency() int { return b.latency }
+
+// Hits returns the number of successful Lookup calls.
+func (b *Buffer) Hits() uint64 { return b.hits }
+
+// Misses returns the number of failed Lookup calls.
+func (b *Buffer) Misses() uint64 { return b.misses }
+
+// Allocations returns the number of entries allocated for prefetches.
+func (b *Buffer) Allocations() uint64 { return b.allocs }
+
+// Evictions returns the number of valid lines displaced by new allocations.
+func (b *Buffer) Evictions() uint64 { return b.evictions }
+
+// UsedLines returns the number of allocated lines that were fetched at least
+// once before being displaced (prefetch usefulness numerator).
+func (b *Buffer) UsedLines() uint64 { return b.usedLines }
+
+// find returns the index of the entry holding line, or -1.
+func (b *Buffer) find(line isa.Addr) int {
+	for i := range b.entries {
+		if b.entries[i].allocated && b.entries[i].line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the line is allocated (valid or pending), without
+// touching LRU or statistics.
+func (b *Buffer) Contains(line isa.Addr) bool { return b.find(line) >= 0 }
+
+// ContainsValid reports whether the line is present with data available.
+func (b *Buffer) ContainsValid(line isa.Addr) bool {
+	i := b.find(line)
+	return i >= 0 && b.entries[i].valid
+}
+
+// ContainsPending reports whether the line is allocated but still in flight.
+func (b *Buffer) ContainsPending(line isa.Addr) bool {
+	i := b.find(line)
+	return i >= 0 && !b.entries[i].valid
+}
+
+// Entries returns a snapshot of all allocated entries.
+func (b *Buffer) Entries() []Entry {
+	var out []Entry
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.allocated {
+			continue
+		}
+		out = append(out, Entry{
+			Line:      e.line,
+			Valid:     e.valid,
+			Pending:   !e.valid,
+			Consumers: e.consumers,
+			Used:      e.used,
+		})
+	}
+	return out
+}
+
+// Occupancy returns the number of allocated entries.
+func (b *Buffer) Occupancy() int {
+	n := 0
+	for i := range b.entries {
+		if b.entries[i].allocated {
+			n++
+		}
+	}
+	return n
+}
+
+// Fill marks the line's data as arrived (valid). It is a no-op if the entry
+// was reallocated in the meantime.
+func (b *Buffer) Fill(line isa.Addr) {
+	if i := b.find(line); i >= 0 {
+		b.entries[i].valid = true
+	}
+}
+
+// touch refreshes the LRU stamp of entry i.
+func (b *Buffer) touch(i int) {
+	b.stamp++
+	b.entries[i].lru = b.stamp
+}
+
+// evictInto reuses entry i for a new allocation of line.
+func (b *Buffer) evictInto(i int, line isa.Addr) {
+	e := &b.entries[i]
+	if e.allocated && e.valid {
+		b.evictions++
+		if e.used {
+			b.usedLines++
+		}
+	}
+	*e = entry{line: line, allocated: true}
+	b.allocs++
+	b.touch(i)
+}
+
+// PrefetchBuffer is the FDP-style prefetch buffer.
+type PrefetchBuffer struct {
+	Buffer
+}
+
+// NewPrefetchBuffer creates a prefetch buffer with the given entry count and
+// access latency.
+func NewPrefetchBuffer(entries, latency int) (*PrefetchBuffer, error) {
+	b, err := newBuffer("prefetch", entries, latency)
+	if err != nil {
+		return nil, err
+	}
+	pb := &PrefetchBuffer{Buffer: *b}
+	// All entries start available.
+	for i := range pb.entries {
+		pb.entries[i].available = true
+	}
+	return pb, nil
+}
+
+// Allocate reserves an entry for a prefetch of line and returns true on
+// success. Only entries marked available (never used, or already consumed)
+// or unallocated entries can be claimed; among candidates the LRU one is
+// chosen. If the line is already present no new allocation is made and
+// Allocate returns false.
+func (pb *PrefetchBuffer) Allocate(line isa.Addr) bool {
+	if pb.find(line) >= 0 {
+		return false
+	}
+	victim := -1
+	for i := range pb.entries {
+		e := &pb.entries[i]
+		if !e.allocated || e.available {
+			if victim < 0 || e.lru < pb.entries[victim].lru {
+				victim = i
+			}
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	pb.evictInto(victim, line)
+	pb.entries[victim].available = false
+	return true
+}
+
+// Lookup performs a fetch-stage access for line. On a hit the entry is
+// marked used and immediately becomes available for new prefetches (the FDP
+// policy: the caller moves the line into the I-cache/L0). The return value
+// reports whether valid data was found.
+func (pb *PrefetchBuffer) Lookup(line isa.Addr) bool {
+	i := pb.find(line)
+	if i < 0 || !pb.entries[i].valid {
+		pb.misses++
+		return false
+	}
+	pb.hits++
+	pb.entries[i].used = true
+	pb.entries[i].available = true
+	pb.touch(i)
+	return true
+}
+
+// Invalidate removes the line (used when the caller moves it elsewhere).
+func (pb *PrefetchBuffer) Invalidate(line isa.Addr) {
+	if i := pb.find(line); i >= 0 {
+		if pb.entries[i].used {
+			pb.usedLines++
+		}
+		pb.entries[i] = entry{available: true}
+	}
+}
+
+// FreeSlots returns the number of entries currently claimable by Allocate.
+func (pb *PrefetchBuffer) FreeSlots() int {
+	n := 0
+	for i := range pb.entries {
+		if !pb.entries[i].allocated || pb.entries[i].available {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears all entries (statistics are preserved).
+func (pb *PrefetchBuffer) Reset() {
+	for i := range pb.entries {
+		pb.entries[i] = entry{available: true}
+	}
+}
+
+// PrestageBuffer is the CLGP prestage buffer.
+type PrestageBuffer struct {
+	Buffer
+}
+
+// NewPrestageBuffer creates a prestage buffer with the given entry count and
+// access latency.
+func NewPrestageBuffer(entries, latency int) (*PrestageBuffer, error) {
+	b, err := newBuffer("prestage", entries, latency)
+	if err != nil {
+		return nil, err
+	}
+	return &PrestageBuffer{Buffer: *b}, nil
+}
+
+// Request is called by CLGP when a CLTQ entry references line. If the line
+// is already allocated, its consumers counter is incremented and (alreadyIn
+// = true, allocated = false) is returned: no new prefetch is needed. If the
+// line is absent and a replaceable entry exists (consumers == 0, LRU first),
+// the entry is claimed with consumers = 1 and (false, true) is returned: the
+// caller must issue the real prefetch. If no entry is replaceable, (false,
+// false) is returned and the caller should retry later.
+func (sb *PrestageBuffer) Request(line isa.Addr) (alreadyIn, allocated bool) {
+	if i := sb.find(line); i >= 0 {
+		sb.entries[i].consumers++
+		sb.touch(i)
+		return true, false
+	}
+	victim := -1
+	for i := range sb.entries {
+		e := &sb.entries[i]
+		if e.allocated && e.consumers > 0 {
+			continue // still referenced by the CLTQ: not replaceable
+		}
+		if victim < 0 || !sb.entries[i].allocated && sb.entries[victim].allocated ||
+			(sb.entries[i].allocated == sb.entries[victim].allocated && e.lru < sb.entries[victim].lru) {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		return false, false
+	}
+	sb.evictInto(victim, line)
+	sb.entries[victim].consumers = 1
+	return false, true
+}
+
+// Lookup performs a fetch-stage access for line. On a hit (valid data) the
+// consumers counter is decremented — the fetch consumed one pending
+// reference — and the entry stays resident (it is NOT transferred to the
+// I-cache). Returns whether valid data was found.
+func (sb *PrestageBuffer) Lookup(line isa.Addr) bool {
+	i := sb.find(line)
+	if i < 0 || !sb.entries[i].valid {
+		sb.misses++
+		return false
+	}
+	sb.hits++
+	e := &sb.entries[i]
+	e.used = true
+	if e.consumers > 0 {
+		e.consumers--
+	}
+	sb.touch(i)
+	return true
+}
+
+// Consumers returns the consumers counter of line, or -1 if absent.
+func (sb *PrestageBuffer) Consumers(line isa.Addr) int {
+	if i := sb.find(line); i >= 0 {
+		return sb.entries[i].consumers
+	}
+	return -1
+}
+
+// ResetConsumers clears the consumers counters of every entry. The paper
+// does this on a branch misprediction: the CLTQ is flushed, so no queued
+// consumer remains, but valid lines stay usable until overwritten by
+// prefetches from the correct path.
+func (sb *PrestageBuffer) ResetConsumers() {
+	for i := range sb.entries {
+		sb.entries[i].consumers = 0
+	}
+}
+
+// ReplaceableSlots returns the number of entries claimable by Request
+// (unallocated or with a zero consumers counter).
+func (sb *PrestageBuffer) ReplaceableSlots() int {
+	n := 0
+	for i := range sb.entries {
+		if !sb.entries[i].allocated || sb.entries[i].consumers == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears all entries (statistics are preserved).
+func (sb *PrestageBuffer) Reset() {
+	for i := range sb.entries {
+		sb.entries[i] = entry{}
+	}
+}

@@ -1,0 +1,140 @@
+package prefetch
+
+import (
+	"clgp/internal/ftq"
+	"clgp/internal/isa"
+	"clgp/internal/memory"
+	"clgp/internal/prebuffer"
+	"clgp/internal/stats"
+)
+
+// CLGPEngine implements Cache Line Guided Prestaging, the paper's proposal.
+// Fetch blocks are split into fetch cache lines in the CLTQ; the CLGP
+// algorithm walks the CLTQ without any filtering and, for every line,
+// either bumps the consumers counter of the prestage buffer entry already
+// holding it or allocates a replaceable entry (consumers == 0, LRU) and
+// issues the real prefetch. At the fetch stage the prestage buffer is the
+// primary instruction supplier: hits decrement the consumers counter and the
+// line is NOT moved into the cache hierarchy, so the L1 (or L0) acts only as
+// an emergency cache filled by demand misses after mispredictions.
+type CLGPEngine struct {
+	common
+	q   *ftq.CLTQ
+	buf *prebuffer.PrestageBuffer
+}
+
+// NewCLGP creates a CLGP engine bound to the memory hierarchy.
+func NewCLGP(cfg Config, mem *memory.Hierarchy) (*CLGPEngine, error) {
+	cfg, err := cfg.normalise()
+	if err != nil {
+		return nil, err
+	}
+	q, err := ftq.NewCLTQ(cfg.QueueBlocks, cfg.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := prebuffer.NewPrestageBuffer(cfg.BufferEntries, cfg.BufferLatency)
+	if err != nil {
+		return nil, err
+	}
+	return &CLGPEngine{common: common{cfg: cfg, mem: mem}, q: q, buf: buf}, nil
+}
+
+// Name implements Engine.
+func (e *CLGPEngine) Name() string { return "clgp" }
+
+// Buffer exposes the prestage buffer (tests, invariants).
+func (e *CLGPEngine) Buffer() *prebuffer.PrestageBuffer { return e.buf }
+
+// Queue exposes the CLTQ (tests).
+func (e *CLGPEngine) Queue() *ftq.CLTQ { return e.q }
+
+// EnqueueBlock implements Engine.
+func (e *CLGPEngine) EnqueueBlock(fb ftq.FetchBlock) bool { return e.q.Push(fb) }
+
+// QueueFull implements Engine.
+func (e *CLGPEngine) QueueFull() bool { return e.q.Full() }
+
+// QueueEmpty implements Engine.
+func (e *CLGPEngine) QueueEmpty() bool { return e.q.Empty() }
+
+// BlocksQueued implements Engine.
+func (e *CLGPEngine) BlocksQueued() int { return e.q.Blocks() }
+
+// NextFetch implements Engine.
+func (e *CLGPEngine) NextFetch() (FetchRequest, bool) {
+	entry, ok := e.q.Head()
+	if !ok {
+		return FetchRequest{}, false
+	}
+	return FetchRequest{
+		Line:         entry.Line,
+		Start:        entry.Start,
+		NumInsts:     entry.NumInsts,
+		Next:         entry.Next,
+		LastOfBlock:  entry.LastOfBlock,
+		EndsInBranch: entry.EndsInBranch,
+		WrongPath:    entry.WrongPath,
+		BlockID:      entry.BlockID,
+	}, true
+}
+
+// PopFetch implements Engine.
+func (e *CLGPEngine) PopFetch() { e.q.Pop() }
+
+// LookupBuffer implements Engine: a hit decrements the line's consumers
+// counter and leaves the line resident (no transfer to the caches).
+func (e *CLGPEngine) LookupBuffer(line isa.Addr, now uint64) (bool, int) {
+	return e.buf.Lookup(line), e.cfg.BufferLatency
+}
+
+// Tick implements Engine: walk the CLTQ for unprefetched entries (no
+// filtering), update prestage buffer lifetimes or issue prefetches, and
+// complete outstanding fills.
+func (e *CLGPEngine) Tick(now uint64) {
+	e.completeFills(now, e.buf.Fill)
+
+	processed := 0
+	for processed < e.cfg.MaxPerCycle {
+		idx := e.q.NextUnprefetched()
+		if idx < 0 {
+			break
+		}
+		entry, _ := e.q.At(idx)
+		alreadyIn, allocated := e.buf.Request(entry.Line)
+		switch {
+		case alreadyIn:
+			// The line is already staged (or in flight): no new prefetch,
+			// its lifetime was just extended.
+			e.recordSource(stats.SrcPreBuffer)
+			e.q.MarkPrefetched(idx)
+		case allocated:
+			e.issuePrefetch(entry.Line, now)
+			e.q.MarkPrefetched(idx)
+		default:
+			// No replaceable prestage entry: every entry still has pending
+			// consumers. Retry next cycle.
+			return
+		}
+		processed++
+	}
+}
+
+// Flush implements Engine: on a misprediction the CLTQ is flushed and the
+// consumers counters are reset, making every prestage entry available for
+// prefetches along the new path; valid lines remain usable until they are
+// overwritten (Section 3.2.3).
+func (e *CLGPEngine) Flush() {
+	e.q.Flush()
+	e.buf.ResetConsumers()
+}
+
+// BufferLatency implements Engine.
+func (e *CLGPEngine) BufferLatency() int { return e.bufferLatency() }
+
+// CollectStats implements Engine.
+func (e *CLGPEngine) CollectStats(r *stats.Results) {
+	r.PrefetchSources.Merge(e.prefetchSources)
+	r.PrefetchesIssued += e.issued
+	r.PrefetchesUseful += e.buf.UsedLines()
+}

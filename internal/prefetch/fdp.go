@@ -1,0 +1,159 @@
+package prefetch
+
+import (
+	"clgp/internal/ftq"
+	"clgp/internal/isa"
+	"clgp/internal/memory"
+	"clgp/internal/prebuffer"
+	"clgp/internal/stats"
+)
+
+// FDPEngine implements Fetch Directed Prefetching (Reinman, Calder, Austin)
+// with Enqueue Cache Probe Filtering, the strongest FDP variant per the
+// paper: before enqueuing a prefetch, the I-cache tags (and L0 tags when an
+// L0 is present) are probed and already-resident lines are not prefetched.
+// Prefetched lines wait in a prefetch buffer; on a fetch-stage hit the line
+// is transferred to the L0 (or L1 when there is no L0) and the buffer entry
+// is freed for new prefetches.
+type FDPEngine struct {
+	common
+	cursor blockCursor
+	buf    *prebuffer.PrefetchBuffer
+
+	// candidates is the prefetch instruction queue: line addresses waiting
+	// to be filtered/issued, expanded from enqueued fetch blocks.
+	candidates []isa.Addr
+}
+
+// maxCandidateQueue bounds the prefetch instruction queue.
+const maxCandidateQueue = 32
+
+// NewFDP creates an FDP engine bound to the memory hierarchy.
+func NewFDP(cfg Config, mem *memory.Hierarchy) (*FDPEngine, error) {
+	cfg, err := cfg.normalise()
+	if err != nil {
+		return nil, err
+	}
+	q, err := ftq.NewFTQ(cfg.QueueBlocks)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := prebuffer.NewPrefetchBuffer(cfg.BufferEntries, cfg.BufferLatency)
+	if err != nil {
+		return nil, err
+	}
+	return &FDPEngine{
+		common: common{cfg: cfg, mem: mem},
+		cursor: blockCursor{q: q, lineSize: cfg.LineBytes},
+		buf:    buf,
+	}, nil
+}
+
+// Name implements Engine.
+func (e *FDPEngine) Name() string { return "fdp" }
+
+// Buffer exposes the prefetch buffer (tests, fetch-source accounting).
+func (e *FDPEngine) Buffer() *prebuffer.PrefetchBuffer { return e.buf }
+
+// EnqueueBlock implements Engine: the block enters the FTQ and its lines
+// become prefetch candidates.
+func (e *FDPEngine) EnqueueBlock(fb ftq.FetchBlock) bool {
+	if !e.cursor.q.Push(fb) {
+		return false
+	}
+	for _, line := range fb.Lines(e.cfg.LineBytes) {
+		if len(e.candidates) >= maxCandidateQueue {
+			break
+		}
+		e.candidates = append(e.candidates, line)
+	}
+	return true
+}
+
+// QueueFull implements Engine.
+func (e *FDPEngine) QueueFull() bool { return e.cursor.q.Full() }
+
+// QueueEmpty implements Engine.
+func (e *FDPEngine) QueueEmpty() bool { return e.cursor.empty() }
+
+// BlocksQueued implements Engine.
+func (e *FDPEngine) BlocksQueued() int { return e.cursor.q.Len() }
+
+// NextFetch implements Engine.
+func (e *FDPEngine) NextFetch() (FetchRequest, bool) { return e.cursor.next() }
+
+// PopFetch implements Engine.
+func (e *FDPEngine) PopFetch() { e.cursor.pop() }
+
+// LookupBuffer implements Engine. On a hit the FDP policy applies: the line
+// is transferred to the L0 cache (or to the L1 when no L0 is configured) and
+// the buffer entry becomes available.
+func (e *FDPEngine) LookupBuffer(line isa.Addr, now uint64) (bool, int) {
+	hit := e.buf.Lookup(line)
+	if hit {
+		if e.cfg.HasL0 {
+			e.mem.InsertL0(line)
+		} else {
+			e.mem.InsertL1I(line)
+		}
+		e.buf.Invalidate(line)
+	}
+	return hit, e.cfg.BufferLatency
+}
+
+// Tick implements Engine: filter and issue prefetch candidates, and complete
+// outstanding fills.
+func (e *FDPEngine) Tick(now uint64) {
+	e.completeFills(now, e.buf.Fill)
+
+	processed := 0
+	for len(e.candidates) > 0 && processed < e.cfg.MaxPerCycle {
+		line := e.candidates[0]
+		// Enqueue Cache Probe Filtering: skip lines already in the caches.
+		if e.cfg.HasL0 && e.mem.L0() != nil && e.mem.L0().Probe(line) {
+			e.recordSource(stats.SrcL0)
+			e.candidates = e.candidates[1:]
+			processed++
+			continue
+		}
+		if e.mem.L1I().Probe(line) {
+			e.recordSource(stats.SrcL1)
+			e.candidates = e.candidates[1:]
+			processed++
+			continue
+		}
+		// Already prefetched (resident or in flight): nothing to do.
+		if e.buf.Contains(line) {
+			e.recordSource(stats.SrcPreBuffer)
+			e.candidates = e.candidates[1:]
+			processed++
+			continue
+		}
+		// Need a free prefetch buffer entry; if none, stall the candidate
+		// queue (entries free up when fetch consumes lines).
+		if !e.buf.Allocate(line) {
+			break
+		}
+		e.issuePrefetch(line, now)
+		e.candidates = e.candidates[1:]
+		processed++
+	}
+}
+
+// Flush implements Engine: the FTQ and the candidate queue are cleared. The
+// prefetch buffer keeps its contents (lines from the wrong path may still
+// turn out useful, exactly as in the paper's description of FDP).
+func (e *FDPEngine) Flush() {
+	e.cursor.flush()
+	e.candidates = e.candidates[:0]
+}
+
+// BufferLatency implements Engine.
+func (e *FDPEngine) BufferLatency() int { return e.bufferLatency() }
+
+// CollectStats implements Engine.
+func (e *FDPEngine) CollectStats(r *stats.Results) {
+	r.PrefetchSources.Merge(e.prefetchSources)
+	r.PrefetchesIssued += e.issued
+	r.PrefetchesUseful += e.buf.UsedLines()
+}

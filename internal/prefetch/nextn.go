@@ -1,0 +1,137 @@
+package prefetch
+
+import (
+	"clgp/internal/ftq"
+	"clgp/internal/isa"
+	"clgp/internal/memory"
+	"clgp/internal/prebuffer"
+	"clgp/internal/stats"
+)
+
+// NextNEngine implements classic next-N-line sequential prefetching (Smith),
+// included as a related-work ablation: whenever the fetch stage consumes a
+// line, the next Degree sequential lines are prefetched into a prefetch
+// buffer (filtered against the caches). It shares the FDP prefetch-buffer
+// semantics (entries freed on use, line transferred to L0/L1).
+type NextNEngine struct {
+	common
+	cursor     blockCursor
+	buf        *prebuffer.PrefetchBuffer
+	candidates []isa.Addr
+}
+
+// NewNextN creates a next-N-line prefetching engine.
+func NewNextN(cfg Config, mem *memory.Hierarchy) (*NextNEngine, error) {
+	cfg, err := cfg.normalise()
+	if err != nil {
+		return nil, err
+	}
+	q, err := ftq.NewFTQ(cfg.QueueBlocks)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := prebuffer.NewPrefetchBuffer(cfg.BufferEntries, cfg.BufferLatency)
+	if err != nil {
+		return nil, err
+	}
+	return &NextNEngine{
+		common: common{cfg: cfg, mem: mem},
+		cursor: blockCursor{q: q, lineSize: cfg.LineBytes},
+		buf:    buf,
+	}, nil
+}
+
+// Name implements Engine.
+func (e *NextNEngine) Name() string { return "nextn" }
+
+// Buffer exposes the prefetch buffer.
+func (e *NextNEngine) Buffer() *prebuffer.PrefetchBuffer { return e.buf }
+
+// EnqueueBlock implements Engine.
+func (e *NextNEngine) EnqueueBlock(fb ftq.FetchBlock) bool { return e.cursor.q.Push(fb) }
+
+// QueueFull implements Engine.
+func (e *NextNEngine) QueueFull() bool { return e.cursor.q.Full() }
+
+// QueueEmpty implements Engine.
+func (e *NextNEngine) QueueEmpty() bool { return e.cursor.empty() }
+
+// BlocksQueued implements Engine.
+func (e *NextNEngine) BlocksQueued() int { return e.cursor.q.Len() }
+
+// NextFetch implements Engine.
+func (e *NextNEngine) NextFetch() (FetchRequest, bool) { return e.cursor.next() }
+
+// PopFetch implements Engine: consuming a line triggers prefetches of the
+// next Degree sequential lines.
+func (e *NextNEngine) PopFetch() {
+	req, ok := e.cursor.next()
+	e.cursor.pop()
+	if !ok {
+		return
+	}
+	for i := 1; i <= e.cfg.Degree; i++ {
+		line := req.Line + isa.Addr(i*e.cfg.LineBytes)
+		if len(e.candidates) >= maxCandidateQueue {
+			break
+		}
+		e.candidates = append(e.candidates, line)
+	}
+}
+
+// LookupBuffer implements Engine (FDP-style transfer-on-use policy).
+func (e *NextNEngine) LookupBuffer(line isa.Addr, now uint64) (bool, int) {
+	hit := e.buf.Lookup(line)
+	if hit {
+		if e.cfg.HasL0 {
+			e.mem.InsertL0(line)
+		} else {
+			e.mem.InsertL1I(line)
+		}
+		e.buf.Invalidate(line)
+	}
+	return hit, e.cfg.BufferLatency
+}
+
+// Tick implements Engine.
+func (e *NextNEngine) Tick(now uint64) {
+	e.completeFills(now, e.buf.Fill)
+	processed := 0
+	for len(e.candidates) > 0 && processed < e.cfg.MaxPerCycle {
+		line := e.candidates[0]
+		if (e.cfg.HasL0 && e.mem.L0() != nil && e.mem.L0().Probe(line)) || e.mem.L1I().Probe(line) {
+			e.recordSource(stats.SrcL1)
+			e.candidates = e.candidates[1:]
+			processed++
+			continue
+		}
+		if e.buf.Contains(line) {
+			e.recordSource(stats.SrcPreBuffer)
+			e.candidates = e.candidates[1:]
+			processed++
+			continue
+		}
+		if !e.buf.Allocate(line) {
+			break
+		}
+		e.issuePrefetch(line, now)
+		e.candidates = e.candidates[1:]
+		processed++
+	}
+}
+
+// Flush implements Engine.
+func (e *NextNEngine) Flush() {
+	e.cursor.flush()
+	e.candidates = e.candidates[:0]
+}
+
+// BufferLatency implements Engine.
+func (e *NextNEngine) BufferLatency() int { return e.bufferLatency() }
+
+// CollectStats implements Engine.
+func (e *NextNEngine) CollectStats(r *stats.Results) {
+	r.PrefetchSources.Merge(e.prefetchSources)
+	r.PrefetchesIssued += e.issued
+	r.PrefetchesUseful += e.buf.UsedLines()
+}

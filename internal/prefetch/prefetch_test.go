@@ -1,0 +1,431 @@
+package prefetch
+
+import (
+	"testing"
+
+	"clgp/internal/cacti"
+	"clgp/internal/ftq"
+	"clgp/internal/isa"
+	"clgp/internal/memory"
+	"clgp/internal/stats"
+)
+
+func newHierarchy(t *testing.T, l0 bool) *memory.Hierarchy {
+	t.Helper()
+	cfg := memory.DefaultConfig(cacti.Tech45, 4<<10)
+	if l0 {
+		cfg.L0Size = 256
+		cfg.PrefetchFromL1 = true
+	}
+	return memory.MustNew(cfg)
+}
+
+func baseConfig(hasL0 bool) Config {
+	return Config{LineBytes: 64, QueueBlocks: 8, BufferEntries: 4, BufferLatency: 1, HasL0: hasL0}
+}
+
+func block(start isa.Addr, n int, next isa.Addr, id uint64) ftq.FetchBlock {
+	return ftq.FetchBlock{Start: start, NumInsts: n, Next: next, EndsInBranch: true, SeqID: id}
+}
+
+// drainBus ticks the hierarchy and engine until outstanding prefetches fill.
+func drainBus(h *memory.Hierarchy, e Engine, from, cycles uint64) uint64 {
+	now := from
+	for i := uint64(0); i < cycles; i++ {
+		h.Tick(now)
+		e.Tick(now)
+		now++
+	}
+	return now
+}
+
+func TestConfigNormalisation(t *testing.T) {
+	if _, err := NewNone(Config{LineBytes: 48, QueueBlocks: 8}, nil); err == nil {
+		t.Errorf("bad line size should error")
+	}
+	if _, err := NewNone(Config{LineBytes: 64, QueueBlocks: 0}, nil); err == nil {
+		t.Errorf("zero queue should error")
+	}
+	if _, err := NewFDP(Config{LineBytes: 64, QueueBlocks: 8, BufferEntries: -1}, newHierarchy(t, false)); err == nil {
+		t.Errorf("negative buffer should error")
+	}
+	e, err := NewNone(Config{LineBytes: 64, QueueBlocks: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "none" || e.BufferLatency() != 0 {
+		t.Errorf("none engine basics wrong")
+	}
+}
+
+func TestNoneEngineFetchSequence(t *testing.T) {
+	e, err := NewNone(baseConfig(false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.QueueEmpty() || e.QueueFull() {
+		t.Errorf("fresh queue state wrong")
+	}
+	if _, ok := e.NextFetch(); ok {
+		t.Errorf("NextFetch on empty queue should fail")
+	}
+	// 20-instruction block starting mid-line: 0x1030..0x107f -> 2 lines.
+	if !e.EnqueueBlock(block(0x1030, 20, 0x9000, 1)) {
+		t.Fatalf("enqueue failed")
+	}
+	if e.BlocksQueued() != 1 {
+		t.Errorf("BlocksQueued = %d", e.BlocksQueued())
+	}
+	r1, ok := e.NextFetch()
+	if !ok || r1.Line != 0x1000 || r1.Start != 0x1030 || r1.NumInsts != 4 || r1.LastOfBlock {
+		t.Fatalf("first fetch request = %+v", r1)
+	}
+	e.PopFetch()
+	r2, ok := e.NextFetch()
+	if !ok || r2.Line != 0x1040 || r2.NumInsts != 16 || !r2.LastOfBlock || !r2.EndsInBranch || r2.Next != 0x9000 {
+		t.Fatalf("second fetch request = %+v", r2)
+	}
+	e.PopFetch()
+	if !e.QueueEmpty() {
+		t.Errorf("queue should be empty after consuming the block")
+	}
+	// Baseline has no buffer.
+	if hit, lat := e.LookupBuffer(0x1000, 0); hit || lat != 0 {
+		t.Errorf("baseline buffer lookup should miss")
+	}
+	e.Tick(0)
+	e.Flush()
+	var r stats.Results
+	e.CollectStats(&r)
+	if r.PrefetchesIssued != 0 {
+		t.Errorf("baseline must not prefetch")
+	}
+}
+
+func TestFDPPrefetchesAndTransfersOnUse(t *testing.T) {
+	h := newHierarchy(t, false)
+	e, err := NewFDP(baseConfig(false), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "fdp" {
+		t.Errorf("name = %q", e.Name())
+	}
+	line := isa.Addr(0x40_0000)
+	if !e.EnqueueBlock(block(line, 16, 0x9000, 1)) {
+		t.Fatalf("enqueue failed")
+	}
+	// Let the prefetch go to memory and fill.
+	now := drainBus(h, e, 0, 300)
+	if !e.Buffer().ContainsValid(line) {
+		t.Fatalf("prefetch did not fill the buffer: %+v", e.Buffer().Entries())
+	}
+	var r stats.Results
+	e.CollectStats(&r)
+	if r.PrefetchesIssued != 1 {
+		t.Errorf("PrefetchesIssued = %d", r.PrefetchesIssued)
+	}
+	if r.PrefetchSources[stats.SrcMem] != 1 {
+		t.Errorf("cold prefetch should come from memory: %+v", r.PrefetchSources)
+	}
+	// Fetch-stage hit: line moves into the L1 (no L0 here) and the buffer
+	// entry is freed.
+	hit, lat := e.LookupBuffer(line, now)
+	if !hit || lat != 1 {
+		t.Fatalf("buffer lookup = %v, %d", hit, lat)
+	}
+	if !h.L1I().Probe(line) {
+		t.Errorf("FDP must transfer the used line into the L1")
+	}
+	if e.Buffer().Contains(line) {
+		t.Errorf("used line should leave the prefetch buffer")
+	}
+}
+
+func TestFDPTransfersToL0WhenPresent(t *testing.T) {
+	h := newHierarchy(t, true)
+	e, err := NewFDP(baseConfig(true), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := isa.Addr(0x40_0000)
+	e.EnqueueBlock(block(line, 4, 0x9000, 1))
+	now := drainBus(h, e, 0, 300)
+	hit, _ := e.LookupBuffer(line, now)
+	if !hit {
+		t.Fatalf("expected buffer hit")
+	}
+	if !h.L0().Probe(line) {
+		t.Errorf("with an L0, the used line must move into the L0")
+	}
+	if h.L1I().Probe(line) {
+		t.Errorf("the used line must not also be copied into the L1")
+	}
+}
+
+func TestFDPEnqueueCacheProbeFiltering(t *testing.T) {
+	h := newHierarchy(t, false)
+	e, _ := NewFDP(baseConfig(false), h)
+	line := isa.Addr(0x40_0000)
+	// Pre-install the line in the L1: the prefetch must be filtered out.
+	h.InsertL1I(line)
+	e.EnqueueBlock(block(line, 8, 0x9000, 1))
+	drainBus(h, e, 0, 50)
+	var r stats.Results
+	e.CollectStats(&r)
+	if r.PrefetchesIssued != 0 {
+		t.Errorf("filtered line should not be prefetched (issued %d)", r.PrefetchesIssued)
+	}
+	if r.PrefetchSources[stats.SrcL1] != 1 {
+		t.Errorf("filtered prefetch should be counted as an L1 source: %+v", r.PrefetchSources)
+	}
+	if e.Buffer().Occupancy() != 0 {
+		t.Errorf("no buffer entry should be allocated for a filtered line")
+	}
+}
+
+func TestFDPDoesNotDuplicatePendingLines(t *testing.T) {
+	h := newHierarchy(t, false)
+	e, _ := NewFDP(baseConfig(false), h)
+	line := isa.Addr(0x40_0000)
+	e.EnqueueBlock(block(line, 4, 0x9000, 1))
+	e.Tick(0) // issues the prefetch (still in flight)
+	e.EnqueueBlock(block(line, 4, 0x9000, 2))
+	e.Tick(1)
+	var r stats.Results
+	e.CollectStats(&r)
+	if r.PrefetchesIssued != 1 {
+		t.Errorf("the same line must not be prefetched twice (issued %d)", r.PrefetchesIssued)
+	}
+	if r.PrefetchSources[stats.SrcPreBuffer] != 1 {
+		t.Errorf("the duplicate should count as a pre-buffer source: %+v", r.PrefetchSources)
+	}
+}
+
+func TestFDPBufferCapacityStallsCandidates(t *testing.T) {
+	h := newHierarchy(t, false)
+	cfg := baseConfig(false)
+	cfg.BufferEntries = 2
+	cfg.MaxPerCycle = 8
+	e, _ := NewFDP(cfg, h)
+	// Three distinct lines but only two buffer entries; none is consumed, so
+	// only two prefetches can be issued.
+	e.EnqueueBlock(block(0x40_0000, 16, 0, 1))
+	e.EnqueueBlock(block(0x40_1000, 16, 0, 2))
+	e.EnqueueBlock(block(0x40_2000, 16, 0, 3))
+	drainBus(h, e, 0, 300)
+	var r stats.Results
+	e.CollectStats(&r)
+	if r.PrefetchesIssued != 2 {
+		t.Errorf("issued %d prefetches with a 2-entry buffer, want 2", r.PrefetchesIssued)
+	}
+}
+
+func TestFDPFlushClearsQueues(t *testing.T) {
+	h := newHierarchy(t, false)
+	e, _ := NewFDP(baseConfig(false), h)
+	e.EnqueueBlock(block(0x40_0000, 64, 0, 1))
+	e.EnqueueBlock(block(0x40_4000, 64, 0, 2))
+	e.Flush()
+	if !e.QueueEmpty() || e.BlocksQueued() != 0 {
+		t.Errorf("flush did not clear the FTQ")
+	}
+	e.Tick(0)
+	var r stats.Results
+	e.CollectStats(&r)
+	if r.PrefetchesIssued != 0 {
+		t.Errorf("flushed candidates should not be prefetched")
+	}
+}
+
+func TestCLGPNoFilteringAndNoTransfer(t *testing.T) {
+	h := newHierarchy(t, false)
+	e, err := NewCLGP(baseConfig(false), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "clgp" {
+		t.Errorf("name = %q", e.Name())
+	}
+	line := isa.Addr(0x40_0000)
+	// Even a line already resident in the L1 is staged (no filtering): the
+	// point is to avoid the multi-cycle L1 hit.
+	h.InsertL1I(line)
+	e.EnqueueBlock(block(line, 8, 0x9000, 1))
+	now := drainBus(h, e, 0, 300)
+	if !e.Buffer().ContainsValid(line) {
+		t.Fatalf("CLGP should stage the line even though it is in the L1")
+	}
+	var r stats.Results
+	e.CollectStats(&r)
+	if r.PrefetchesIssued != 1 {
+		t.Errorf("PrefetchesIssued = %d", r.PrefetchesIssued)
+	}
+	// Fetch hit: line stays in the prestage buffer and is NOT moved to L0.
+	hit, _ := e.LookupBuffer(line, now)
+	if !hit {
+		t.Fatalf("prestage lookup should hit")
+	}
+	if !e.Buffer().Contains(line) {
+		t.Errorf("CLGP must keep the line in the prestage buffer after use")
+	}
+}
+
+func TestCLGPConsumersTrackCLTQReferences(t *testing.T) {
+	h := newHierarchy(t, false)
+	cfg := baseConfig(false)
+	cfg.MaxPerCycle = 8
+	e, _ := NewCLGP(cfg, h)
+	line := isa.Addr(0x40_0000)
+	// Two blocks referencing the same line: one prefetch, consumers = 2.
+	e.EnqueueBlock(block(line, 8, 0x9000, 1))
+	e.EnqueueBlock(block(line, 8, 0x9000, 2))
+	e.Tick(0)
+	if got := e.Buffer().Consumers(line); got != 2 {
+		t.Errorf("consumers = %d, want 2", got)
+	}
+	var r stats.Results
+	e.CollectStats(&r)
+	if r.PrefetchesIssued != 1 {
+		t.Errorf("issued %d prefetches, want 1", r.PrefetchesIssued)
+	}
+	if r.PrefetchSources[stats.SrcPreBuffer] != 1 {
+		t.Errorf("second reference should count as a pre-buffer prefetch source")
+	}
+	// After the two fetches the entry becomes replaceable.
+	drainBus(h, e, 1, 300)
+	e.LookupBuffer(line, 300)
+	e.LookupBuffer(line, 301)
+	if e.Buffer().Consumers(line) != 0 {
+		t.Errorf("consumers should be 0 after both fetches")
+	}
+}
+
+func TestCLGPStallsWhenAllEntriesHaveConsumers(t *testing.T) {
+	h := newHierarchy(t, false)
+	cfg := baseConfig(false)
+	cfg.BufferEntries = 2
+	cfg.MaxPerCycle = 8
+	e, _ := NewCLGP(cfg, h)
+	e.EnqueueBlock(block(0x40_0000, 4, 0, 1))
+	e.EnqueueBlock(block(0x40_1000, 4, 0, 2))
+	e.EnqueueBlock(block(0x40_2000, 4, 0, 3))
+	e.Tick(0)
+	var r stats.Results
+	e.CollectStats(&r)
+	if r.PrefetchesIssued != 2 {
+		t.Errorf("issued %d, want 2 (third line must wait for a free entry)", r.PrefetchesIssued)
+	}
+	// The third CLTQ entry must still be unprefetched.
+	if idx := e.Queue().NextUnprefetched(); idx < 0 {
+		t.Errorf("third entry should remain unprefetched while the buffer is pinned")
+	}
+	// Consuming the first line frees its entry; the stalled prefetch then
+	// proceeds.
+	drainBus(h, e, 1, 300)
+	e.LookupBuffer(0x40_0000, 300)
+	e.Tick(301)
+	var r2 stats.Results
+	e.CollectStats(&r2)
+	if r2.PrefetchesIssued != 3 {
+		t.Errorf("after freeing an entry, issued = %d, want 3", r2.PrefetchesIssued)
+	}
+}
+
+func TestCLGPFlushResetsConsumersButKeepsLines(t *testing.T) {
+	h := newHierarchy(t, false)
+	e, _ := NewCLGP(baseConfig(false), h)
+	line := isa.Addr(0x40_0000)
+	e.EnqueueBlock(block(line, 8, 0x9000, 1))
+	drainBus(h, e, 0, 300)
+	if !e.Buffer().ContainsValid(line) {
+		t.Fatalf("line should be staged")
+	}
+	e.Flush()
+	if !e.QueueEmpty() {
+		t.Errorf("CLTQ should be empty after a flush")
+	}
+	if e.Buffer().Consumers(line) != 0 {
+		t.Errorf("consumers should be reset on a flush")
+	}
+	// The stale valid line still serves a fetch on the new path.
+	if hit, _ := e.LookupBuffer(line, 400); !hit {
+		t.Errorf("valid wrong-path line should remain usable after a flush")
+	}
+}
+
+func TestCLGPFetchRequestsMatchCLTQ(t *testing.T) {
+	h := newHierarchy(t, false)
+	e, _ := NewCLGP(baseConfig(false), h)
+	e.EnqueueBlock(block(0x1030, 20, 0x9000, 7))
+	r1, ok := e.NextFetch()
+	if !ok || r1.Line != 0x1000 || r1.NumInsts != 4 || r1.LastOfBlock {
+		t.Fatalf("first CLGP fetch request = %+v", r1)
+	}
+	e.PopFetch()
+	r2, ok := e.NextFetch()
+	if !ok || r2.Line != 0x1040 || r2.NumInsts != 16 || !r2.LastOfBlock || r2.Next != 0x9000 {
+		t.Fatalf("second CLGP fetch request = %+v", r2)
+	}
+	e.PopFetch()
+	if _, ok := e.NextFetch(); ok {
+		t.Errorf("queue should be exhausted")
+	}
+}
+
+func TestNextNEnginePrefetchesSequentialLines(t *testing.T) {
+	h := newHierarchy(t, false)
+	cfg := baseConfig(false)
+	cfg.Degree = 2
+	cfg.MaxPerCycle = 8
+	e, err := NewNextN(cfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "nextn" {
+		t.Errorf("name = %q", e.Name())
+	}
+	line := isa.Addr(0x40_0000)
+	e.EnqueueBlock(block(line, 16, 0x9000, 1))
+	// Consume the single line of the block: the next 2 lines become
+	// prefetch candidates.
+	e.PopFetch()
+	drainBus(h, e, 0, 300)
+	if !e.Buffer().ContainsValid(line+64) || !e.Buffer().ContainsValid(line+128) {
+		t.Errorf("next-2-line prefetching should stage lines +64 and +128: %+v", e.Buffer().Entries())
+	}
+	var r stats.Results
+	e.CollectStats(&r)
+	if r.PrefetchesIssued != 2 {
+		t.Errorf("issued %d, want 2", r.PrefetchesIssued)
+	}
+	// Transfer-on-use semantics.
+	hit, _ := e.LookupBuffer(line+64, 400)
+	if !hit || !h.L1I().Probe(line+64) {
+		t.Errorf("used line should move into the L1")
+	}
+	e.Flush()
+	if !e.QueueEmpty() {
+		t.Errorf("flush should clear the queue")
+	}
+}
+
+// TestEnginesShareQueueOpportunities: FDP and CLGP accept exactly the same
+// block stream (same block capacity), per the paper's fairness argument.
+func TestEnginesShareQueueOpportunities(t *testing.T) {
+	h1 := newHierarchy(t, false)
+	h2 := newHierarchy(t, false)
+	fdp, _ := NewFDP(baseConfig(false), h1)
+	clgp, _ := NewCLGP(baseConfig(false), h2)
+	for i := 0; i < 20; i++ {
+		fb := block(isa.Addr(0x40_0000+i*0x200), 32, 0, uint64(i))
+		a := fdp.EnqueueBlock(fb)
+		b := clgp.EnqueueBlock(fb)
+		if a != b {
+			t.Fatalf("block %d accepted differently: fdp=%v clgp=%v", i, a, b)
+		}
+		if fdp.BlocksQueued() != clgp.BlocksQueued() {
+			t.Fatalf("block occupancy diverged: %d vs %d", fdp.BlocksQueued(), clgp.BlocksQueued())
+		}
+	}
+}

@@ -1,0 +1,456 @@
+// Package stats collects and reports the measurements the paper evaluates:
+// IPC, fetch-source and prefetch-source distributions, branch prediction
+// accuracy, cache hit rates, and the speedup/harmonic-mean summaries used in
+// the text and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Source identifies which storage level served a fetch or prefetch request.
+// The names follow the paper's Figure 7/8 legend: PB (pre-buffer), il0, il1,
+// ul2, Mem.
+type Source int
+
+const (
+	// SrcPreBuffer is the prefetch/prestage buffer.
+	SrcPreBuffer Source = iota
+	// SrcL0 is the optional L0 instruction cache.
+	SrcL0
+	// SrcL1 is the L1 instruction cache.
+	SrcL1
+	// SrcL2 is the unified L2 cache.
+	SrcL2
+	// SrcMem is main memory.
+	SrcMem
+
+	// NumSources is the number of distinct sources.
+	NumSources
+)
+
+// String returns the label used by the paper's figures.
+func (s Source) String() string {
+	switch s {
+	case SrcPreBuffer:
+		return "PB"
+	case SrcL0:
+		return "il0"
+	case SrcL1:
+		return "il1"
+	case SrcL2:
+		return "ul2"
+	case SrcMem:
+		return "Mem"
+	default:
+		return fmt.Sprintf("source(%d)", int(s))
+	}
+}
+
+// OneCycle reports whether the source has a one-cycle access time in the
+// paper's configurations (pre-buffer within the one-cycle capacity and L0).
+func (s Source) OneCycle() bool { return s == SrcPreBuffer || s == SrcL0 }
+
+// Distribution is a counter per source.
+type Distribution [NumSources]uint64
+
+// Add increments the counter of src by n.
+func (d *Distribution) Add(src Source, n uint64) { d[src] += n }
+
+// Total returns the sum over all sources.
+func (d *Distribution) Total() uint64 {
+	var t uint64
+	for _, v := range d {
+		t += v
+	}
+	return t
+}
+
+// Fraction returns the share (0..1) of src over the total; zero if empty.
+func (d *Distribution) Fraction(src Source) float64 {
+	t := d.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(d[src]) / float64(t)
+}
+
+// Fractions returns all source shares, in Source order.
+func (d *Distribution) Fractions() [NumSources]float64 {
+	var out [NumSources]float64
+	t := d.Total()
+	if t == 0 {
+		return out
+	}
+	for i, v := range d {
+		out[i] = float64(v) / float64(t)
+	}
+	return out
+}
+
+// Merge adds other into d.
+func (d *Distribution) Merge(other Distribution) {
+	for i, v := range other {
+		d[i] += v
+	}
+}
+
+// Results holds all the counters of one simulation run.
+type Results struct {
+	// Name labels the run (benchmark and configuration).
+	Name string
+
+	// Cycles is the total number of simulated cycles.
+	Cycles uint64
+	// Committed is the number of committed (correct-path) instructions.
+	Committed uint64
+	// Fetched is the number of instructions delivered by the fetch stage,
+	// including wrong-path instructions that are later squashed.
+	Fetched uint64
+	// WrongPathFetched is the subset of Fetched that was on a wrong path.
+	WrongPathFetched uint64
+
+	// FetchSources counts instruction-fetch line accesses by supplier.
+	FetchSources Distribution
+	// PrefetchSources counts prefetch requests by the level that supplied
+	// (or already held) the line: a pre-buffer "hit" means no new prefetch
+	// was needed.
+	PrefetchSources Distribution
+
+	// Branches is the number of committed conditional branches.
+	Branches uint64
+	// Mispredictions is the number of committed mispredicted branches
+	// (direction or target).
+	Mispredictions uint64
+
+	// L1Accesses / L1Misses count demand accesses to the L1 I-cache.
+	L1Accesses, L1Misses uint64
+	// L0Accesses / L0Misses count demand accesses to the L0 cache.
+	L0Accesses, L0Misses uint64
+	// L2Accesses / L2Misses count instruction-side accesses to the L2.
+	L2Accesses, L2Misses uint64
+	// DCacheAccesses / DCacheMisses count data-side L1 accesses.
+	DCacheAccesses, DCacheMisses uint64
+
+	// PrefetchesIssued counts prefetch requests sent to the hierarchy.
+	PrefetchesIssued uint64
+	// PrefetchesUseful counts prefetched lines that were fetched at least
+	// once before being evicted from the pre-buffer.
+	PrefetchesUseful uint64
+	// BusConflicts counts cycles in which a request was delayed by bus
+	// arbitration.
+	BusConflicts uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (r *Results) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// BranchMispredRate returns the fraction of committed conditional branches
+// that were mispredicted.
+func (r *Results) BranchMispredRate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.Mispredictions) / float64(r.Branches)
+}
+
+// BranchAccuracy returns 1 - BranchMispredRate.
+func (r *Results) BranchAccuracy() float64 { return 1 - r.BranchMispredRate() }
+
+// L1MissRate returns the L1 I-cache demand miss rate.
+func (r *Results) L1MissRate() float64 { return rate(r.L1Misses, r.L1Accesses) }
+
+// L0MissRate returns the L0 cache demand miss rate.
+func (r *Results) L0MissRate() float64 { return rate(r.L0Misses, r.L0Accesses) }
+
+// DCacheMissRate returns the L1 D-cache miss rate.
+func (r *Results) DCacheMissRate() float64 { return rate(r.DCacheMisses, r.DCacheAccesses) }
+
+// PrefetchUsefulness returns the fraction of issued prefetches whose line
+// was used before eviction.
+func (r *Results) PrefetchUsefulness() float64 {
+	return rate(r.PrefetchesUseful, r.PrefetchesIssued)
+}
+
+// OneCycleFetchFraction returns the share of fetches served by one-cycle
+// sources (pre-buffer or L0): the metric the paper quotes as "88%/95% of
+// fetches provided by the prestage buffer (and L0)".
+func (r *Results) OneCycleFetchFraction() float64 {
+	t := r.FetchSources.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.FetchSources[SrcPreBuffer]+r.FetchSources[SrcL0]) / float64(t)
+}
+
+func rate(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Merge accumulates other into r (cycle counts add; the result is only
+// meaningful for aggregate counters, not for IPC, which callers should
+// compute per run and combine with HarmonicMean).
+func (r *Results) Merge(other *Results) {
+	r.Cycles += other.Cycles
+	r.Committed += other.Committed
+	r.Fetched += other.Fetched
+	r.WrongPathFetched += other.WrongPathFetched
+	r.FetchSources.Merge(other.FetchSources)
+	r.PrefetchSources.Merge(other.PrefetchSources)
+	r.Branches += other.Branches
+	r.Mispredictions += other.Mispredictions
+	r.L1Accesses += other.L1Accesses
+	r.L1Misses += other.L1Misses
+	r.L0Accesses += other.L0Accesses
+	r.L0Misses += other.L0Misses
+	r.L2Accesses += other.L2Accesses
+	r.L2Misses += other.L2Misses
+	r.DCacheAccesses += other.DCacheAccesses
+	r.DCacheMisses += other.DCacheMisses
+	r.PrefetchesIssued += other.PrefetchesIssued
+	r.PrefetchesUseful += other.PrefetchesUseful
+	r.BusConflicts += other.BusConflicts
+}
+
+// Speedup returns the relative speedup of new over old in terms of IPC:
+// (new-old)/old. It returns 0 when old is 0.
+func Speedup(newIPC, oldIPC float64) float64 {
+	if oldIPC == 0 {
+		return 0
+	}
+	return (newIPC - oldIPC) / oldIPC
+}
+
+// HarmonicMean returns the harmonic mean of xs, the average the paper uses
+// to summarise per-benchmark IPC (the HMEAN bar of Figure 6). Zero or
+// negative values make the mean zero.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// GeometricMean returns the geometric mean of xs.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Summary renders the headline counters of a run as a human-readable block.
+func (r *Results) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run: %s\n", r.Name)
+	fmt.Fprintf(&b, "  cycles:               %d\n", r.Cycles)
+	fmt.Fprintf(&b, "  committed insts:      %d\n", r.Committed)
+	fmt.Fprintf(&b, "  IPC:                  %.4f\n", r.IPC())
+	fmt.Fprintf(&b, "  branch mispred rate:  %.4f\n", r.BranchMispredRate())
+	fmt.Fprintf(&b, "  L1I miss rate:        %.4f\n", r.L1MissRate())
+	fmt.Fprintf(&b, "  one-cycle fetches:    %.1f%%\n", 100*r.OneCycleFetchFraction())
+	fmt.Fprintf(&b, "  fetch sources:        %s\n", FormatDistribution(r.FetchSources))
+	fmt.Fprintf(&b, "  prefetch sources:     %s\n", FormatDistribution(r.PrefetchSources))
+	fmt.Fprintf(&b, "  prefetches issued:    %d (useful %.1f%%)\n",
+		r.PrefetchesIssued, 100*r.PrefetchUsefulness())
+	return b.String()
+}
+
+// FormatDistribution renders a distribution as "PB 86.2% il0 8.1% ...",
+// skipping empty sources.
+func FormatDistribution(d Distribution) string {
+	if d.Total() == 0 {
+		return "(none)"
+	}
+	var parts []string
+	for s := Source(0); s < NumSources; s++ {
+		if d[s] == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", s, 100*d.Fraction(s)))
+	}
+	return strings.Join(parts, "  ")
+}
+
+// Table is a simple fixed-column text table used by the figure harness to
+// print paper-style series.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is a named sequence of (x, y) points, one per swept parameter value
+// (e.g. IPC vs. L1 I-cache size for one configuration). It is the unit the
+// figure harness produces.
+type Series struct {
+	// Name is the configuration label (e.g. "CLGP + L0 + PB:16").
+	Name string
+	// X holds the swept parameter values (e.g. cache sizes in bytes).
+	X []float64
+	// Y holds the measured values (e.g. IPC).
+	Y []float64
+}
+
+// Add appends a point to the series.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// YAt returns the y value for the given x, or NaN if x is absent.
+func (s *Series) YAt(x float64) float64 {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i]
+		}
+	}
+	return math.NaN()
+}
+
+// MaxY returns the maximum y value of the series, or NaN when empty.
+func (s *Series) MaxY() float64 {
+	if len(s.Y) == 0 {
+		return math.NaN()
+	}
+	m := s.Y[0]
+	for _, y := range s.Y[1:] {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// SeriesSet is a collection of series sharing the same X axis, i.e. one
+// paper figure.
+type SeriesSet struct {
+	// Title of the figure.
+	Title string
+	// XLabel and YLabel describe the axes.
+	XLabel, YLabel string
+	// Series are the plotted configurations.
+	Series []*Series
+}
+
+// Find returns the series with the given name, or nil.
+func (ss *SeriesSet) Find(name string) *Series {
+	for _, s := range ss.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Table renders the series set as a text table with one row per X value and
+// one column per series, which is how the reproduction prints each figure.
+func (ss *SeriesSet) Table(xFormat func(float64) string) *Table {
+	if xFormat == nil {
+		xFormat = func(x float64) string { return fmt.Sprintf("%g", x) }
+	}
+	t := &Table{Header: []string{ss.XLabel}}
+	for _, s := range ss.Series {
+		t.Header = append(t.Header, s.Name)
+	}
+	// Collect the union of X values in ascending order.
+	xset := make(map[float64]struct{})
+	for _, s := range ss.Series {
+		for _, x := range s.X {
+			xset[x] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		row := []string{xFormat(x)}
+		for _, s := range ss.Series {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.4f", y))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// FormatBytes renders a byte count the way the paper labels cache sizes
+// (256B, 1KB, 64KB, 1MB).
+func FormatBytes(n float64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%gMB", n/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%gKB", n/(1<<10))
+	default:
+		return fmt.Sprintf("%gB", n)
+	}
+}

@@ -1,0 +1,308 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clgp/internal/isa"
+)
+
+func mkRecord(pc uint64, taken bool, target, eff uint64) Record {
+	return Record{PC: isa.Addr(pc), Taken: taken, Target: isa.Addr(target), EffAddr: isa.Addr(eff)}
+}
+
+func TestMemTraceIteration(t *testing.T) {
+	recs := []Record{
+		mkRecord(0x1000, false, 0x1004, 0),
+		mkRecord(0x1004, true, 0x2000, 0),
+		mkRecord(0x2000, false, 0x2004, 0x8000),
+	}
+	mt := NewMemTrace(recs)
+	if mt.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", mt.Len())
+	}
+	var got []Record
+	for {
+		r, ok := mt.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if len(got) != 3 || got[1].Target != 0x2000 {
+		t.Errorf("iteration produced %+v", got)
+	}
+	// Exhausted.
+	if _, ok := mt.Next(); ok {
+		t.Errorf("Next after exhaustion should report !ok")
+	}
+	mt.Reset()
+	if r, ok := mt.Next(); !ok || r.PC != 0x1000 {
+		t.Errorf("after Reset first record = %+v, %v", r, ok)
+	}
+	if mt.At(2).EffAddr != 0x8000 {
+		t.Errorf("At(2) = %+v", mt.At(2))
+	}
+}
+
+func TestMemTraceAppendAndSlice(t *testing.T) {
+	mt := NewMemTrace(nil)
+	for i := 0; i < 10; i++ {
+		mt.Append(mkRecord(uint64(0x1000+4*i), false, uint64(0x1004+4*i), 0))
+	}
+	if mt.Len() != 10 {
+		t.Fatalf("Len = %d", mt.Len())
+	}
+	sl, err := mt.Slice(2, 5)
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+	if sl.Len() != 3 || sl.At(0).PC != 0x1008 {
+		t.Errorf("slice = %+v", sl.Records())
+	}
+	if _, err := mt.Slice(-1, 3); err == nil {
+		t.Errorf("negative lo should error")
+	}
+	if _, err := mt.Slice(3, 11); err == nil {
+		t.Errorf("hi beyond end should error")
+	}
+	if _, err := mt.Slice(5, 2); err == nil {
+		t.Errorf("lo > hi should error")
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var recs []Record
+	pc := uint64(0x10000)
+	for i := 0; i < 5000; i++ {
+		r := Record{PC: isa.Addr(pc)}
+		switch rng.Intn(4) {
+		case 0: // taken branch
+			r.Taken = true
+			r.Target = isa.Addr(pc + uint64(rng.Intn(4096))*4 + 4)
+		case 1: // load/store
+			r.Target = isa.Addr(pc + 4)
+			r.EffAddr = isa.Addr(0x100000 + rng.Intn(1<<20))
+		default:
+			r.Target = isa.Addr(pc + 4)
+		}
+		recs = append(recs, r)
+		pc = uint64(r.Target)
+	}
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(recs))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	defer rd.Close()
+	got, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if got.Len() != len(recs) {
+		t.Fatalf("round trip length %d, want %d", got.Len(), len(recs))
+	}
+	for i, r := range got.Records() {
+		if r != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, r, recs[i])
+		}
+	}
+}
+
+func TestWriterReaderRoundTripProperty(t *testing.T) {
+	f := func(pcs []uint32, flags []bool) bool {
+		n := len(pcs)
+		if len(flags) < n {
+			n = len(flags)
+		}
+		if n > 200 {
+			n = 200
+		}
+		var recs []Record
+		for i := 0; i < n; i++ {
+			pc := isa.Addr(pcs[i]) &^ 3
+			r := Record{PC: pc, Taken: flags[i], Target: pc + 4}
+			if flags[i] {
+				r.Target = pc + 400
+				r.EffAddr = pc + 0x1000
+			}
+			recs = append(recs, r)
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		got, err := rd.ReadAll()
+		if err != nil || got.Len() != len(recs) {
+			return false
+		}
+		for i, r := range got.Records() {
+			if r != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	// Not a gzip stream at all.
+	if _, err := NewReader(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Errorf("non-gzip input should error")
+	}
+	// Valid gzip, wrong magic.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := buf.Bytes()
+	// Re-create with a hand-rolled wrong header: easiest is to write a fresh
+	// gzip stream with bogus contents.
+	var bogus bytes.Buffer
+	gzw, _ := NewWriter(&bogus) // produces valid header...
+	_ = gzw.Close()
+	// Instead, test version/magic errors by crafting the payload directly.
+	if _, err := NewReader(bytes.NewReader(corrupted)); err != nil {
+		t.Errorf("valid empty trace should open, got %v", err)
+	}
+	rd, err := NewReader(bytes.NewReader(corrupted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Read(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty trace Read should be EOF, got %v", err)
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	craft := func(magic, version uint32) []byte {
+		var raw bytes.Buffer
+		gz := gzip.NewWriter(&raw)
+		hdr := make([]byte, 8)
+		binary.LittleEndian.PutUint32(hdr[0:4], magic)
+		binary.LittleEndian.PutUint32(hdr[4:8], version)
+		if _, err := gz.Write(hdr); err != nil {
+			t.Fatal(err)
+		}
+		if err := gz.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return raw.Bytes()
+	}
+	if _, err := NewReader(bytes.NewReader(craft(0xdeadbeef, fileVersion))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("want ErrBadMagic, got %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader(craft(fileMagic, 99))); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestProfileAndRepresentativeSlice(t *testing.T) {
+	// Build a trace with two phases: phase A loops over PCs 0x1000..0x10ff,
+	// phase B loops over 0x9000..0x90ff. The representative slice of the
+	// combined trace should come from the longer phase.
+	var recs []Record
+	addLoop := func(base uint64, iters int) {
+		for it := 0; it < iters; it++ {
+			for i := 0; i < 16; i++ {
+				pc := base + uint64(i*4)
+				r := Record{PC: isa.Addr(pc), Target: isa.Addr(pc + 4)}
+				if i == 15 {
+					r.Taken = true
+					r.Target = isa.Addr(base)
+				}
+				recs = append(recs, r)
+			}
+		}
+	}
+	addLoop(0x1000, 100) // 1600 records of phase A
+	addLoop(0x9000, 20)  // 320 records of phase B
+	mt := NewMemTrace(recs)
+
+	profiles, err := Profile(mt, 160)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	if len(profiles) < 10 {
+		t.Fatalf("expected >= 10 intervals, got %d", len(profiles))
+	}
+	if _, err := Profile(mt, 0); err == nil {
+		t.Errorf("zero interval length should error")
+	}
+
+	sl, idx, err := RepresentativeSlice(mt, 160)
+	if err != nil {
+		t.Fatalf("RepresentativeSlice: %v", err)
+	}
+	if sl.Len() == 0 {
+		t.Fatalf("empty representative slice")
+	}
+	// Phase A dominates, so the representative interval must be a phase-A
+	// interval (index < 10).
+	if idx >= 10 {
+		t.Errorf("representative interval %d comes from the minority phase", idx)
+	}
+	if sl.At(0).PC < 0x1000 || sl.At(0).PC >= 0x2000 {
+		t.Errorf("representative slice starts at %#x, expected phase A", sl.At(0).PC)
+	}
+}
+
+func TestRepresentativeSliceEdgeCases(t *testing.T) {
+	empty := NewMemTrace(nil)
+	if _, _, err := RepresentativeSlice(empty, 100); err == nil {
+		t.Errorf("empty trace should error")
+	}
+	// Single interval: trace shorter than the interval length.
+	small := NewMemTrace([]Record{
+		mkRecord(0x100, false, 0x104, 0),
+		mkRecord(0x104, false, 0x108, 0),
+	})
+	sl, idx, err := RepresentativeSlice(small, 100)
+	if err != nil || idx != 0 || sl.Len() != 2 {
+		t.Errorf("single-interval slice = len %d idx %d err %v", sl.Len(), idx, err)
+	}
+}

@@ -1,0 +1,447 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"clgp/internal/isa"
+	"clgp/internal/trace"
+)
+
+// Workload is a generated benchmark: the static program image plus the
+// dynamic correct-path trace the simulator commits.
+type Workload struct {
+	// Name is the profile name.
+	Name string
+	// Profile is the generating profile.
+	Profile Profile
+	// Dict is the program image (basic block dictionary).
+	Dict *isa.Dictionary
+	// Trace is the dynamic correct-path instruction trace.
+	Trace *trace.MemTrace
+}
+
+// CodeBase is the address where generated code is placed.
+const CodeBase isa.Addr = 0x0040_0000
+
+// DataBase is the address where the synthetic data segment is placed.
+const DataBase isa.Addr = 0x1000_0000
+
+// maxCallDepth bounds the dynamic call stack of the trace walker.
+const maxCallDepth = 64
+
+// program is the intermediate static representation built by the generator.
+type program struct {
+	dict      *isa.Dictionary
+	driver    isa.Addr   // entry of the driver loop
+	midEntry  []isa.Addr // entry of each mid-level function
+	leafEntry []isa.Addr // entry of each leaf function
+}
+
+// Generate builds the static program for profile p and walks it to produce
+// a dynamic trace of numInsts instructions. The same (profile, numInsts,
+// seed) triple always produces the same workload.
+func Generate(p Profile, numInsts int, seed int64) (*Workload, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if numInsts <= 0 {
+		return nil, fmt.Errorf("workload %s: numInsts must be positive, got %d", p.Name, numInsts)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prog, err := buildProgram(p, rng)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := walk(p, prog, numInsts, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Name: p.Name, Profile: p, Dict: prog.dict, Trace: tr}, nil
+}
+
+// MustGenerate is Generate but panics on error; for presets with static
+// parameters (benchmarks, examples).
+func MustGenerate(p Profile, numInsts int, seed int64) *Workload {
+	w, err := Generate(p, numInsts, seed)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// blockBuilder accumulates instructions for one basic block.
+type blockBuilder struct {
+	start isa.Addr
+	insts []isa.StaticInst
+}
+
+// codeBuilder lays out blocks at increasing addresses.
+type codeBuilder struct {
+	p       Profile
+	rng     *rand.Rand
+	dict    *isa.Dictionary
+	nextPC  isa.Addr
+	lastDst [4]uint8
+}
+
+func newCodeBuilder(p Profile, rng *rand.Rand) *codeBuilder {
+	return &codeBuilder{p: p, rng: rng, dict: isa.NewDictionary(), nextPC: CodeBase,
+		lastDst: [4]uint8{1, 2, 3, 4}}
+}
+
+// pickSrc returns a source register, biased towards recently written ones to
+// model data dependences.
+func (cb *codeBuilder) pickSrc() uint8 {
+	if cb.rng.Float64() < cb.p.DepDensity {
+		return cb.lastDst[cb.rng.Intn(len(cb.lastDst))]
+	}
+	return uint8(1 + cb.rng.Intn(isa.NumRegs-2))
+}
+
+// pickDst returns a destination register and records it as recently written.
+func (cb *codeBuilder) pickDst() uint8 {
+	d := uint8(1 + cb.rng.Intn(isa.NumRegs-2))
+	cb.lastDst[cb.rng.Intn(len(cb.lastDst))] = d
+	return d
+}
+
+// bodyInst synthesises one non-terminator instruction.
+func (cb *codeBuilder) bodyInst(pc isa.Addr) isa.StaticInst {
+	r := cb.rng.Float64()
+	si := isa.StaticInst{PC: pc, Src1: cb.pickSrc(), Src2: cb.pickSrc(), Dst: cb.pickDst()}
+	p := cb.p
+	switch {
+	case r < p.LoadFrac:
+		si.Class = isa.OpLoad
+	case r < p.LoadFrac+p.StoreFrac:
+		si.Class = isa.OpStore
+		si.Dst = isa.RegZero
+	case r < p.LoadFrac+p.StoreFrac+p.MulFrac:
+		si.Class = isa.OpMul
+	case r < p.LoadFrac+p.StoreFrac+p.MulFrac+p.FPFrac:
+		si.Class = isa.OpFP
+	default:
+		si.Class = isa.OpALU
+	}
+	return si
+}
+
+// newBlock starts a block at the current layout position with n body slots;
+// the terminator is appended by the caller via one of the finish helpers.
+func (cb *codeBuilder) newBlock(nBody int) *blockBuilder {
+	bb := &blockBuilder{start: cb.nextPC}
+	pc := cb.nextPC
+	for i := 0; i < nBody; i++ {
+		bb.insts = append(bb.insts, cb.bodyInst(pc))
+		pc += isa.InstBytes
+	}
+	return bb
+}
+
+// terminator kinds appended to a block under construction.
+func (cb *codeBuilder) finishFallThrough(bb *blockBuilder) error { return cb.commit(bb) }
+
+func (cb *codeBuilder) finishBranch(bb *blockBuilder, target isa.Addr, bias float64) error {
+	pc := bb.start + isa.Addr(len(bb.insts))*isa.InstBytes
+	bb.insts = append(bb.insts, isa.StaticInst{
+		PC: pc, Class: isa.OpBranch, Target: target,
+		Src1: cb.pickSrc(), Src2: isa.RegZero, Dst: isa.RegZero, TakenBias: bias,
+	})
+	return cb.commit(bb)
+}
+
+func (cb *codeBuilder) finishJump(bb *blockBuilder, target isa.Addr) error {
+	pc := bb.start + isa.Addr(len(bb.insts))*isa.InstBytes
+	bb.insts = append(bb.insts, isa.StaticInst{
+		PC: pc, Class: isa.OpJump, Target: target,
+		Src1: isa.RegZero, Src2: isa.RegZero, Dst: isa.RegZero, TakenBias: 1,
+	})
+	return cb.commit(bb)
+}
+
+func (cb *codeBuilder) finishCall(bb *blockBuilder, target isa.Addr) error {
+	pc := bb.start + isa.Addr(len(bb.insts))*isa.InstBytes
+	bb.insts = append(bb.insts, isa.StaticInst{
+		PC: pc, Class: isa.OpCall, Target: target,
+		Src1: isa.RegZero, Src2: isa.RegZero, Dst: isa.RegZero, TakenBias: 1,
+	})
+	return cb.commit(bb)
+}
+
+func (cb *codeBuilder) finishReturn(bb *blockBuilder) error {
+	pc := bb.start + isa.Addr(len(bb.insts))*isa.InstBytes
+	bb.insts = append(bb.insts, isa.StaticInst{
+		PC: pc, Class: isa.OpReturn,
+		Src1: isa.RegZero, Src2: isa.RegZero, Dst: isa.RegZero, TakenBias: 1,
+	})
+	return cb.commit(bb)
+}
+
+// commit registers the block in the dictionary and advances the layout.
+func (cb *codeBuilder) commit(bb *blockBuilder) error {
+	block := &isa.BasicBlock{Start: bb.start, Insts: bb.insts}
+	if err := cb.dict.AddBlock(block); err != nil {
+		return err
+	}
+	cb.nextPC = block.End()
+	return nil
+}
+
+// blockLen samples a basic-block body length around the profile average.
+func (cb *codeBuilder) blockLen() int {
+	n := cb.p.AvgBlockInsts - 2 + cb.rng.Intn(5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// funcLayout describes one mid-level function before its blocks are emitted:
+// for each block, the terminator decision (so branch targets to later blocks
+// can be computed from the planned block sizes).
+type plannedBlock struct {
+	bodyLen int
+	kind    int // 0 fallthrough, 1 branch, 2 call(leaf), 3 return, 4 jump
+	// For branches: relative block offset of the target (negative = loop).
+	relTarget int
+	bias      float64
+	callee    isa.Addr
+}
+
+// buildFunction emits one function with the planned structure and returns
+// its entry address.
+func (cb *codeBuilder) buildFunction(plan []plannedBlock) (isa.Addr, error) {
+	// First pass: compute block start addresses from body lengths (+1 for
+	// the terminator instruction where present).
+	starts := make([]isa.Addr, len(plan))
+	pc := cb.nextPC
+	for i, pb := range plan {
+		starts[i] = pc
+		n := pb.bodyLen
+		if pb.kind != 0 {
+			n++
+		}
+		pc += isa.Addr(n) * isa.InstBytes
+	}
+	entry := starts[0]
+	// Second pass: emit.
+	for i, pb := range plan {
+		bb := cb.newBlock(pb.bodyLen)
+		var err error
+		switch pb.kind {
+		case 0:
+			err = cb.finishFallThrough(bb)
+		case 1:
+			tgt := i + pb.relTarget
+			if tgt < 0 {
+				tgt = 0
+			}
+			if tgt >= len(plan) {
+				tgt = len(plan) - 1
+			}
+			err = cb.finishBranch(bb, starts[tgt], pb.bias)
+		case 2:
+			err = cb.finishCall(bb, pb.callee)
+		case 3:
+			err = cb.finishReturn(bb)
+		case 4:
+			tgt := i + pb.relTarget
+			if tgt < 0 || tgt >= len(plan) {
+				tgt = len(plan) - 1
+			}
+			err = cb.finishJump(bb, starts[tgt])
+		default:
+			err = fmt.Errorf("workload: unknown planned block kind %d", pb.kind)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	return entry, nil
+}
+
+// planLeaf plans a small leaf function: a few straight-line blocks, one
+// optional internal loop, ending in a return.
+func planLeaf(p Profile, rng *rand.Rand, avg int) []plannedBlock {
+	n := 3 + rng.Intn(3)
+	plan := make([]plannedBlock, n)
+	for i := range plan {
+		plan[i] = plannedBlock{bodyLen: avg - 1 + rng.Intn(3), kind: 0}
+		if plan[i].bodyLen < 1 {
+			plan[i].bodyLen = 1
+		}
+	}
+	// One backward branch to form a short loop.
+	if n >= 3 {
+		plan[n-2].kind = 1
+		plan[n-2].relTarget = -1
+		plan[n-2].bias = 0.6 * p.LoopTakenBias
+	}
+	plan[n-1].kind = 3
+	return plan
+}
+
+// planMid plans one mid-level function according to the profile.
+func planMid(p Profile, rng *rand.Rand, leaves []isa.Addr, blockLen func() int) []plannedBlock {
+	n := p.FuncBlocks
+	plan := make([]plannedBlock, n)
+	for i := range plan {
+		plan[i] = plannedBlock{bodyLen: blockLen(), kind: 0}
+	}
+	for i := 0; i < n-1; i++ {
+		r := rng.Float64()
+		switch {
+		case len(leaves) > 0 && r < p.CallFrac:
+			plan[i].kind = 2
+			plan[i].callee = leaves[rng.Intn(len(leaves))]
+		case i >= 4 && i%6 == 5:
+			// Loop back-edge over the last few blocks.
+			plan[i].kind = 1
+			plan[i].relTarget = -(2 + rng.Intn(3))
+			plan[i].bias = p.LoopTakenBias
+		case r < p.CallFrac+0.55:
+			// Forward branch skipping one or two blocks.
+			plan[i].kind = 1
+			plan[i].relTarget = 1 + rng.Intn(2) + 1
+			if rng.Float64() < p.NoisyBranchFrac {
+				plan[i].bias = p.NoisyTakenBias
+			} else {
+				plan[i].bias = p.ForwardTakenBias
+			}
+		default:
+			plan[i].kind = 0
+		}
+	}
+	plan[n-1].kind = 3 // return
+	return plan
+}
+
+// buildProgram lays out leaves, mid functions and the driver loop.
+func buildProgram(p Profile, rng *rand.Rand) (*program, error) {
+	cb := newCodeBuilder(p, rng)
+	prog := &program{dict: cb.dict}
+
+	// Leaf functions first so mid functions can call them.
+	for i := 0; i < p.LeafFuncs; i++ {
+		entry, err := cb.buildFunction(planLeaf(p, rng, 3))
+		if err != nil {
+			return nil, fmt.Errorf("building leaf %d: %w", i, err)
+		}
+		prog.leafEntry = append(prog.leafEntry, entry)
+	}
+
+	// Mid-level functions sized to reach the hot-code budget.
+	funcInsts := p.FuncBlocks * p.AvgBlockInsts
+	funcBytes := funcInsts * isa.InstBytes
+	numMid := int(math.Ceil(float64(p.HotCodeKB*1024) / float64(funcBytes)))
+	if numMid < 2 {
+		numMid = 2
+	}
+	for i := 0; i < numMid; i++ {
+		entry, err := cb.buildFunction(planMid(p, rng, prog.leafEntry, cb.blockLen))
+		if err != nil {
+			return nil, fmt.Errorf("building function %d: %w", i, err)
+		}
+		prog.midEntry = append(prog.midEntry, entry)
+	}
+
+	// Driver loop: for each mid function, a guard block (conditional branch
+	// that skips the call with a per-function probability implementing the
+	// Zipf-like execution skew) followed by a call block. A final jump block
+	// closes the loop.
+	driverPlan := make([]plannedBlock, 0, 2*numMid+1)
+	for i := 0; i < numMid; i++ {
+		callProb := 0.95 / math.Pow(float64(i+1), p.SkewFactor)
+		if callProb < 0.02 {
+			callProb = 0.02
+		}
+		guard := plannedBlock{bodyLen: 2 + rng.Intn(2), kind: 1, relTarget: 2, bias: 1 - callProb}
+		call := plannedBlock{bodyLen: 1 + rng.Intn(2), kind: 2, callee: prog.midEntry[i]}
+		driverPlan = append(driverPlan, guard, call)
+	}
+	driverPlan = append(driverPlan, plannedBlock{bodyLen: 2, kind: 4, relTarget: -(2 * numMid)})
+	entry, err := cb.buildFunction(driverPlan)
+	if err != nil {
+		return nil, fmt.Errorf("building driver: %w", err)
+	}
+	prog.driver = entry
+	prog.dict.SetEntry(entry)
+	return prog, nil
+}
+
+// dataState generates load/store effective addresses: a sequential pointer
+// that strides through the data segment plus a fraction of random accesses
+// over the whole footprint.
+type dataState struct {
+	footprint isa.Addr
+	seqPtr    isa.Addr
+	randFrac  float64
+}
+
+func newDataState(p Profile) *dataState {
+	return &dataState{
+		footprint: isa.Addr(p.DataFootprintKB) * 1024,
+		randFrac:  p.RandomAccessFrac,
+	}
+}
+
+func (ds *dataState) next(rng *rand.Rand) isa.Addr {
+	if rng.Float64() < ds.randFrac {
+		return DataBase + isa.Addr(rng.Int63n(int64(ds.footprint)))&^7
+	}
+	ds.seqPtr = (ds.seqPtr + 8) % ds.footprint
+	return DataBase + ds.seqPtr
+}
+
+// walk executes the program dynamically, producing the correct-path trace.
+func walk(p Profile, prog *program, numInsts int, rng *rand.Rand) (*trace.MemTrace, error) {
+	tr := trace.NewMemTrace(make([]trace.Record, 0, numInsts))
+	ds := newDataState(p)
+	pc := prog.dict.Entry()
+	var callStack []isa.Addr
+
+	for tr.Len() < numInsts {
+		si := prog.dict.Inst(pc)
+		if si == nil {
+			return nil, fmt.Errorf("workload %s: walked off the program image at %#x", p.Name, pc)
+		}
+		rec := trace.Record{PC: pc}
+		if si.Class.IsMem() {
+			rec.EffAddr = ds.next(rng)
+		}
+		switch si.Class {
+		case isa.OpBranch:
+			taken := rng.Float64() < si.TakenBias
+			rec.Taken = taken
+			if taken {
+				rec.Target = si.Target
+			} else {
+				rec.Target = si.FallThrough()
+			}
+		case isa.OpJump:
+			rec.Taken = true
+			rec.Target = si.Target
+		case isa.OpCall:
+			rec.Taken = true
+			rec.Target = si.Target
+			if len(callStack) < maxCallDepth {
+				callStack = append(callStack, si.FallThrough())
+			}
+		case isa.OpReturn:
+			rec.Taken = true
+			if len(callStack) > 0 {
+				rec.Target = callStack[len(callStack)-1]
+				callStack = callStack[:len(callStack)-1]
+			} else {
+				rec.Target = prog.driver
+			}
+		default:
+			rec.Target = si.FallThrough()
+		}
+		tr.Append(rec)
+		pc = rec.Target
+	}
+	return tr, nil
+}
