@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test vet bench bench-smoke run sweep clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark pass (allocation counts are the contract: 0 allocs/op on
+# every steady-state path).
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Quick smoke used by CI: a few iterations of every benchmark, just enough
+# to catch regressions in the allocation-free invariant.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 100x -benchmem ./...
+
+run:
+	$(GO) run ./cmd/clgpsim run -profile gcc -insts 200000 -engine clgp -l1 2048 -l0
+
+sweep:
+	$(GO) run ./cmd/clgpsim sweep -profile gcc -insts 100000
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_*.json

@@ -1,0 +1,273 @@
+// Command clgpsim drives the CLGP simulator: it runs single configurations,
+// sweeps the paper's (engine × technology × L1 size) grids in parallel, and
+// benchmarks the simulator's own throughput.
+//
+// Usage:
+//
+//	clgpsim run   [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0]
+//	clgpsim sweep [-profile gcc] [-insts 200000] [-tech 90] [-workers 0] [-json BENCH_sweep.json]
+//	clgpsim bench [-profile gcc] [-insts 100000] [-workers 0] [-json BENCH_clgpsim.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"clgp/internal/cacti"
+	"clgp/internal/core"
+	"clgp/internal/sim"
+	"clgp/internal/stats"
+	"clgp/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "clgpsim: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clgpsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `clgpsim — Cache Line Guided Prestaging simulator
+
+commands:
+  run    simulate one configuration and print its statistics
+  sweep  run an (engine x L1 size) grid in parallel and print the IPC table
+  bench  measure simulator throughput (serial vs parallel) and emit BENCH json
+`)
+}
+
+// parseTech maps "90"/"45" (or the full node names) to a technology node.
+func parseTech(s string) (cacti.Tech, error) {
+	switch s {
+	case "90", "0.09", "0.09um":
+		return cacti.Tech90, nil
+	case "45", "0.045", "0.045um":
+		return cacti.Tech45, nil
+	case "180", "0.18um":
+		return cacti.Tech180, nil
+	case "130", "0.13um":
+		return cacti.Tech130, nil
+	case "65", "0.065um":
+		return cacti.Tech65, nil
+	}
+	return 0, fmt.Errorf("unknown technology node %q (use 90 or 45)", s)
+}
+
+// parseEngine maps an engine name to its kind.
+func parseEngine(s string) (core.EngineKind, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return core.EngineNone, nil
+	case "nextn":
+		return core.EngineNextN, nil
+	case "fdp":
+		return core.EngineFDP, nil
+	case "clgp":
+		return core.EngineCLGP, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (none|nextn|fdp|clgp)", s)
+}
+
+// loadWorkload generates the named synthetic benchmark.
+func loadWorkload(profile string, insts int, seed int64) (*workload.Workload, error) {
+	p, err := workload.ProfileByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(p, insts, seed)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	profile := fs.String("profile", "gcc", "workload profile (SPECint2000 stand-in name)")
+	insts := fs.Int("insts", 200_000, "trace length in instructions")
+	seed := fs.Int64("seed", 1, "workload generation seed")
+	engine := fs.String("engine", "clgp", "instruction delivery engine (none|nextn|fdp|clgp)")
+	tech := fs.String("tech", "90", "technology node (90|45)")
+	l1 := fs.Int("l1", 2<<10, "L1 I-cache size in bytes")
+	useL0 := fs.Bool("l0", false, "add the one-cycle L0 cache")
+	pb := fs.Int("pb", 0, "pre-buffer entries (0 = node default)")
+	ideal := fs.Bool("ideal", false, "ideal (one-cycle) instruction cache")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tn, err := parseTech(*tech)
+	if err != nil {
+		return err
+	}
+	ek, err := parseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	w, err := loadWorkload(*profile, *insts, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Tech: tn, L1ISize: *l1, Engine: ek, UseL0: *useL0,
+		PreBufferEntries: *pb, IdealICache: *ideal,
+	}
+	eng, err := core.NewEngine(cfg, w.Dict, w.Trace)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	r, err := eng.Run()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Print(r.Summary())
+	fmt.Printf("  wall time:            %v (%.0f cycles/sec)\n",
+		wall.Round(time.Millisecond), float64(r.Cycles)/wall.Seconds())
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	profile := fs.String("profile", "gcc", "workload profile")
+	insts := fs.Int("insts", 200_000, "trace length in instructions")
+	seed := fs.Int64("seed", 1, "workload generation seed")
+	tech := fs.String("tech", "90", "technology node (90|45)")
+	useL0 := fs.Bool("l0", false, "add the one-cycle L0 to prefetching engines")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	jsonPath := fs.String("json", "", "write BENCH-format throughput json to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tn, err := parseTech(*tech)
+	if err != nil {
+		return err
+	}
+	w, err := loadWorkload(*profile, *insts, *seed)
+	if err != nil {
+		return err
+	}
+	engines := []core.EngineKind{core.EngineNone, core.EngineNextN, core.EngineFDP, core.EngineCLGP}
+	sizes := cacti.L1Sizes()
+	jobs := sim.SweepJobs(w, tn, sizes, engines, *useL0, 0)
+
+	runner := sim.Runner{Workers: *workers}
+	start := time.Now()
+	results := runner.Run(jobs)
+	wall := time.Since(start)
+
+	// One IPC series per engine over the L1 sweep (a paper figure).
+	set := stats.SeriesSet{
+		Title:  fmt.Sprintf("IPC vs L1 size — %s @ %v", w.Name, tn),
+		XLabel: "L1I", YLabel: "IPC",
+	}
+	i := 0
+	for _, ek := range engines {
+		s := &stats.Series{Name: ek.String()}
+		set.Series = append(set.Series, s)
+		for range sizes {
+			r := results[i]
+			if r.Err != nil {
+				return fmt.Errorf("job %s: %w", jobs[i].Name, r.Err)
+			}
+			s.Add(float64(jobs[i].Config.L1ISize), r.Stats.IPC())
+			i++
+		}
+	}
+	fmt.Println(set.Title)
+	fmt.Print(set.Table(stats.FormatBytes))
+
+	sum := sim.Summarise(results, wall)
+	fmt.Printf("\n%d sims in %v (%d workers): %.0f cycles/sec, %.2f sims/sec\n",
+		sum.Sims, wall.Round(time.Millisecond), runner.EffectiveWorkers(), sum.CyclesPerSec(), sum.SimsPerSec())
+
+	if *jsonPath != "" {
+		rec := sim.RecordFromSummary("sweep", runner.EffectiveWorkers(), sum)
+		if err := sim.WriteBenchJSON(*jsonPath, []sim.BenchRecord{rec}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	profile := fs.String("profile", "gcc", "workload profile")
+	insts := fs.Int("insts", 100_000, "trace length in instructions")
+	seed := fs.Int64("seed", 1, "workload generation seed")
+	workers := fs.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
+	jsonPath := fs.String("json", "BENCH_clgpsim.json", "BENCH output path (empty = skip)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := loadWorkload(*profile, *insts, *seed)
+	if err != nil {
+		return err
+	}
+	jobs := sim.SweepJobs(w, cacti.Tech90,
+		[]int{1 << 10, 2 << 10, 4 << 10, 8 << 10},
+		[]core.EngineKind{core.EngineNone, core.EngineNextN, core.EngineFDP, core.EngineCLGP},
+		false, 0)
+	fmt.Printf("benchmarking %d-config grid over %s (%d insts)\n", len(jobs), w.Name, *insts)
+
+	start := time.Now()
+	serialRes := sim.Runner{Workers: 1}.Run(jobs)
+	serialWall := time.Since(start)
+	serialSum := sim.Summarise(serialRes, serialWall)
+	fmt.Printf("serial:   %8v  %12.0f cycles/sec  %6.2f sims/sec\n",
+		serialWall.Round(time.Millisecond), serialSum.CyclesPerSec(), serialSum.SimsPerSec())
+
+	runner := sim.Runner{Workers: *workers}
+	start = time.Now()
+	parRes := runner.Run(jobs)
+	parWall := time.Since(start)
+	parSum := sim.Summarise(parRes, parWall)
+	speedup := serialWall.Seconds() / parWall.Seconds()
+	fmt.Printf("parallel: %8v  %12.0f cycles/sec  %6.2f sims/sec  (%d workers, %.2fx vs serial)\n",
+		parWall.Round(time.Millisecond), parSum.CyclesPerSec(), parSum.SimsPerSec(),
+		runner.EffectiveWorkers(), speedup)
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Println("note: GOMAXPROCS=1 — parallel speedup needs a multi-core machine")
+	}
+
+	for i := range jobs {
+		if serialRes[i].Err != nil || parRes[i].Err != nil {
+			return fmt.Errorf("job %s failed: %v %v", jobs[i].Name, serialRes[i].Err, parRes[i].Err)
+		}
+	}
+
+	if *jsonPath != "" {
+		serialRec := sim.RecordFromSummary("grid-serial", 1, serialSum)
+		parRec := sim.RecordFromSummary("grid-parallel", runner.EffectiveWorkers(), parSum)
+		parRec.SpeedupVsSerial = speedup
+		if err := sim.WriteBenchJSON(*jsonPath, []sim.BenchRecord{serialRec, parRec}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}

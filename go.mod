@@ -1,0 +1,3 @@
+module clgp
+
+go 1.22

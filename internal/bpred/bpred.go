@@ -188,9 +188,20 @@ func (r *RAS) Depth() int { return r.top }
 
 // Snapshot captures the full RAS state for misprediction recovery.
 func (r *RAS) Snapshot() RASSnapshot {
-	s := RASSnapshot{top: r.top, entries: make([]isa.Addr, len(r.entries))}
-	copy(s.entries, r.entries)
+	var s RASSnapshot
+	r.SaveInto(&s)
 	return s
+}
+
+// SaveInto captures the RAS state into dst, reusing dst's storage when its
+// capacity matches. Callers that checkpoint every prediction (the core's
+// cycle loop) use this to stay allocation-free.
+func (r *RAS) SaveInto(dst *RASSnapshot) {
+	if len(dst.entries) != len(r.entries) {
+		dst.entries = make([]isa.Addr, len(r.entries))
+	}
+	copy(dst.entries, r.entries)
+	dst.top = r.top
 }
 
 // Restore rewinds the RAS to a previously captured snapshot.

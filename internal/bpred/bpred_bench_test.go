@@ -1,0 +1,36 @@
+package bpred
+
+import (
+	"testing"
+
+	"clgp/internal/isa"
+)
+
+// BenchmarkPredict measures one stream prediction (both table probes, RAS
+// interaction, history update).
+func BenchmarkPredict(b *testing.B) {
+	p := MustNew(DefaultConfig())
+	// Train a loop nest of streams so predictions hit the tables.
+	for i := 0; i < 4096; i++ {
+		start := isa.Addr(0x40_0000 + (i%64)*256)
+		p.Train(Stream{Start: start, NumInsts: 12, Next: start + 256, End: EndBranch})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(isa.Addr(0x40_0000 + (i%64)*256))
+	}
+}
+
+// BenchmarkPredictTrain interleaves prediction and training, the steady-state
+// mix of the core's prediction stage.
+func BenchmarkPredictTrain(b *testing.B) {
+	p := MustNew(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := isa.Addr(0x40_0000 + (i%128)*192)
+		p.Predict(start)
+		p.Train(Stream{Start: start, NumInsts: 10, Next: start + 192, End: EndBranch})
+	}
+}

@@ -47,9 +47,43 @@ type Request struct {
 	Enqueued uint64
 }
 
+// fifo is a growable ring buffer of requests. Unlike the obvious
+// `q = q[1:]; append(q, ...)` idiom, it never leaks capacity, so a
+// steady-state enqueue/dequeue workload performs no allocations.
+type fifo struct {
+	buf  []Request
+	head int
+	n    int
+}
+
+func (f *fifo) push(r Request) {
+	if f.n == len(f.buf) {
+		grown := make([]Request, max(8, 2*len(f.buf)))
+		for i := 0; i < f.n; i++ {
+			grown[i] = f.buf[(f.head+i)%len(f.buf)]
+		}
+		f.buf = grown
+		f.head = 0
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = r
+	f.n++
+}
+
+func (f *fifo) pop() Request {
+	r := f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return r
+}
+
+func (f *fifo) reset() {
+	f.head = 0
+	f.n = 0
+}
+
 // Arbiter is the single-grant-per-cycle bus arbiter.
 type Arbiter struct {
-	queues [numRequesters][]Request
+	queues [numRequesters]fifo
 
 	grants    uint64
 	conflicts uint64
@@ -65,14 +99,14 @@ func (a *Arbiter) Enqueue(r Request) {
 	if r.From < 0 || r.From >= numRequesters {
 		r.From = ReqPrefetch
 	}
-	a.queues[r.From] = append(a.queues[r.From], r)
+	a.queues[r.From].push(r)
 }
 
 // Pending returns the total number of queued requests.
 func (a *Arbiter) Pending() int {
 	n := 0
-	for _, q := range a.queues {
-		n += len(q)
+	for i := range a.queues {
+		n += a.queues[i].n
 	}
 	return n
 }
@@ -82,7 +116,7 @@ func (a *Arbiter) PendingFor(r Requester) int {
 	if r < 0 || r >= numRequesters {
 		return 0
 	}
-	return len(a.queues[r])
+	return a.queues[r].n
 }
 
 // Grant performs one cycle of arbitration at cycle `now`, returning the
@@ -95,18 +129,16 @@ func (a *Arbiter) Grant(now uint64) (Request, bool) {
 		return Request{}, false
 	}
 	waiting := 0
-	for _, q := range a.queues {
-		if len(q) > 0 {
+	for i := range a.queues {
+		if a.queues[i].n > 0 {
 			waiting++
 		}
 	}
 	for cls := Requester(0); cls < numRequesters; cls++ {
-		q := a.queues[cls]
-		if len(q) == 0 {
+		if a.queues[cls].n == 0 {
 			continue
 		}
-		req := q[0]
-		a.queues[cls] = q[1:]
+		req := a.queues[cls].pop()
 		a.grants++
 		if waiting > 1 {
 			// At least one other class had to wait this cycle.
@@ -126,8 +158,8 @@ func (a *Arbiter) Flush(r Requester) int {
 	if r < 0 || r >= numRequesters {
 		return 0
 	}
-	n := len(a.queues[r])
-	a.queues[r] = nil
+	n := a.queues[r].n
+	a.queues[r].reset()
 	return n
 }
 

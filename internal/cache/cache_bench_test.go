@@ -1,0 +1,33 @@
+package cache
+
+import (
+	"testing"
+
+	"clgp/internal/isa"
+)
+
+// BenchmarkCacheLookup measures the hot tag-lookup path of the
+// set-associative model (hits and misses mixed, LRU updates included).
+func BenchmarkCacheLookup(b *testing.B) {
+	c := MustNew(Config{Name: "bench", SizeBytes: 32 << 10, LineBytes: 64, Assoc: 2, Latency: 3})
+	// Populate with a working set twice the capacity so roughly half the
+	// lookups miss.
+	for a := isa.Addr(0); a < 64<<10; a += 64 {
+		c.Insert(a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(isa.Addr(i*64) % (64 << 10))
+	}
+}
+
+// BenchmarkCacheInsert measures fills with LRU eviction.
+func BenchmarkCacheInsert(b *testing.B) {
+	c := MustNew(Config{Name: "bench", SizeBytes: 4 << 10, LineBytes: 64, Assoc: 2, Latency: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(isa.Addr(i*64) % (32 << 10))
+	}
+}

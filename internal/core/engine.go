@@ -1,0 +1,642 @@
+package core
+
+import (
+	"fmt"
+
+	"clgp/internal/bpred"
+	"clgp/internal/ftq"
+	"clgp/internal/isa"
+	"clgp/internal/memory"
+	"clgp/internal/pipeline"
+	"clgp/internal/prefetch"
+	"clgp/internal/stats"
+	"clgp/internal/trace"
+)
+
+// Engine is the simulated processor: the trace-driven, wrong-path-capable
+// cycle loop that ties the stream predictor, the decoupling queue and
+// prefetch engine, the pre-buffer/L0/L1 hierarchy, the fetch stage and the
+// back-end pipeline together.
+//
+// The loop is engineered to be allocation-free in steady state: DynInsts and
+// memory Requests are recycled through free-lists, every queue is a ring
+// buffer, and the predictor checkpoint needed for misprediction recovery is
+// saved into reusable storage. BenchmarkEngineCycle verifies 0 allocs/op.
+//
+// Simulation model. The committed (correct-path) execution is given by a
+// trace; the static program image (basic block dictionary) additionally
+// allows the front-end to fetch along mispredicted paths, exactly as the
+// paper's simulator does. The simulator compares each stream prediction
+// against the trace immediately (it is the oracle), but the machine only
+// learns about a misprediction when the mispredicted branch executes in the
+// back-end: until that resolution the front-end keeps predicting, fetching
+// and prefetching down the wrong path through the dictionary, polluting (or
+// usefully warming) the caches and buffers. On resolution the queues are
+// flushed, wrong-path instructions are squashed, the predictor's history and
+// return-address stack are restored, and prediction restarts at the correct
+// target after RedirectPenalty cycles.
+type Engine struct {
+	cfg     Config
+	mem     *memory.Hierarchy
+	eng     prefetch.Engine
+	backend *pipeline.Backend
+	pred    *bpred.Predictor
+	dict    *isa.Dictionary
+	tr      *trace.MemTrace
+
+	cycle     uint64
+	seq       uint64 // dynamic instruction sequence numbers (from 1)
+	nextSeqID uint64 // fetch block ids
+	maxStream int
+	target    uint64 // committed-instruction goal
+	maxCycles uint64
+	done      bool
+	err       error
+
+	// Prediction state. predCursor indexes the next trace record not yet
+	// consumed by a correct-path prediction; on the wrong path the predictor
+	// runs from wrongPC through its own tables instead.
+	predCursor     int
+	wrongPath      bool
+	wrongPC        isa.Addr
+	predStallUntil uint64
+
+	// Recovery checkpoint, valid while a mispredicted branch is in flight.
+	// rasScratch is refreshed before every correct-path prediction so the
+	// checkpoint never allocates.
+	recoveryValid  bool
+	recoverHistory uint64
+	recoverRAS     bpred.RASSnapshot
+	recoverEnd     bpred.EndClass
+	recoverRet     isa.Addr
+	rasScratch     bpred.RASSnapshot
+
+	// blockMeta associates fetch blocks (by SeqID) with their trace records;
+	// a ring indexed by SeqID keeps lookups O(1) without a map.
+	blockMeta []blockMeta
+
+	// Fetch state: at most one cache line is being fetched at a time; its
+	// instructions are delivered into the dispatch queue when the data
+	// arrives, and the back-end dispatches up to FetchWidth of them per
+	// cycle.
+	fetchActive  bool
+	fetchReq     *memory.Request // nil when served by the pre-buffer
+	fetchReadyAt uint64
+	fetchFR      prefetch.FetchRequest
+
+	// drain holds demand-fetch requests abandoned by a misprediction flush;
+	// they complete in the background and are then released.
+	drain []*memory.Request
+
+	// dq is the dispatch queue ring (fetched, not yet dispatched).
+	dq     []*pipeline.DynInst
+	dqHead int
+	dqN    int
+
+	pool      *pipeline.Pool
+	commitBuf []*pipeline.DynInst
+
+	// nop backs wrong-path fetches that run off the program image.
+	nop isa.StaticInst
+
+	// statistics
+	fetched          uint64
+	wrongPathFetched uint64
+	branches         uint64
+	mispredicts      uint64
+	detectedMisp     uint64
+	fetchSources     stats.Distribution
+}
+
+// blockMeta is the simulator-side bookkeeping for one fetch block.
+type blockMeta struct {
+	seqID     uint64
+	traceBase int // first trace record of the block; -1 for wrong-path blocks
+	numInsts  int
+	delivered int
+	mispred   bool // the block's last instruction is the mispredicted branch
+}
+
+// dispatchQueueCap bounds the fetched-but-not-dispatched window; a fetch
+// line holds at most 16 instructions, so fetch stalls when fewer than 16
+// slots are free.
+const dispatchQueueCap = 64
+
+// blockMetaRing must exceed the maximum number of in-flight fetch blocks
+// (queue capacity plus the block being fetched).
+const blockMetaRing = 64
+
+// NewEngine builds a simulator for one configuration over a program image
+// and its committed trace.
+func NewEngine(cfg Config, dict *isa.Dictionary, tr *trace.MemTrace) (*Engine, error) {
+	cfg, err := cfg.normalise()
+	if err != nil {
+		return nil, err
+	}
+	if dict == nil || tr == nil {
+		return nil, fmt.Errorf("core: engine needs a dictionary and a trace")
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	mem, err := memory.New(cfg.memoryConfig())
+	if err != nil {
+		return nil, err
+	}
+	backend, err := pipeline.New(cfg.Backend, mem)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := bpred.New(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := buildPrefetchEngine(cfg, mem)
+	if err != nil {
+		return nil, err
+	}
+
+	target := uint64(tr.Len())
+	if cfg.MaxInsts > 0 && uint64(cfg.MaxInsts) < target {
+		target = uint64(cfg.MaxInsts)
+	}
+	e := &Engine{
+		cfg:       cfg,
+		mem:       mem,
+		eng:       eng,
+		backend:   backend,
+		pred:      pred,
+		dict:      dict,
+		tr:        tr,
+		maxStream: pred.Config().MaxStreamLength,
+		target:    target,
+		// An IPC below 1/500 over a whole run means the simulation wedged;
+		// treat it as an internal error instead of spinning forever.
+		maxCycles: 500*target + 1_000_000,
+		blockMeta: make([]blockMeta, blockMetaRing),
+		dq:        make([]*pipeline.DynInst, dispatchQueueCap),
+		pool:      pipeline.NewPool(),
+		commitBuf: make([]*pipeline.DynInst, 0, cfg.Backend.Width),
+		nop:       isa.StaticInst{Class: isa.OpNop, Src1: isa.RegZero, Src2: isa.RegZero, Dst: isa.RegZero},
+	}
+	backend.SetPool(e.pool)
+	pred.RASRef().SaveInto(&e.rasScratch)
+	pred.RASRef().SaveInto(&e.recoverRAS)
+	return e, nil
+}
+
+// MustNewEngine is NewEngine but panics on configuration errors.
+func MustNewEngine(cfg Config, dict *isa.Dictionary, tr *trace.MemTrace) *Engine {
+	e, err := NewEngine(cfg, dict, tr)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// buildPrefetchEngine instantiates the configured instruction-delivery
+// scheme.
+func buildPrefetchEngine(cfg Config, mem *memory.Hierarchy) (prefetch.Engine, error) {
+	pc := cfg.engineConfig()
+	switch cfg.Engine {
+	case EngineNone:
+		return prefetch.NewNone(pc, mem)
+	case EngineNextN:
+		return prefetch.NewNextN(pc, mem)
+	case EngineFDP:
+		return prefetch.NewFDP(pc, mem)
+	case EngineCLGP:
+		return prefetch.NewCLGP(pc, mem)
+	default:
+		return nil, fmt.Errorf("core: unknown engine kind %d", cfg.Engine)
+	}
+}
+
+// Config returns the normalised configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Cycles returns the number of simulated cycles so far.
+func (e *Engine) Cycles() uint64 { return e.cycle }
+
+// Committed returns the number of committed instructions so far.
+func (e *Engine) Committed() uint64 { return e.backend.Committed() }
+
+// Done reports whether the simulation has finished.
+func (e *Engine) Done() bool { return e.done }
+
+// Err returns the error that stopped the simulation, if any.
+func (e *Engine) Err() error { return e.err }
+
+// Hierarchy exposes the memory hierarchy (tests, invariants).
+func (e *Engine) Hierarchy() *memory.Hierarchy { return e.mem }
+
+// PrefetchEngine exposes the instruction-delivery engine (tests).
+func (e *Engine) PrefetchEngine() prefetch.Engine { return e.eng }
+
+// Step simulates one cycle. It returns false once the simulation is done
+// (target reached, trace exhausted, or an internal error — see Err).
+func (e *Engine) Step() bool {
+	if e.done {
+		return false
+	}
+	now := e.cycle
+
+	// 1. Memory system: one bus grant per cycle.
+	e.mem.Tick(now)
+	// 2. Prefetch engine: scan its queue, issue prefetches, complete fills.
+	e.eng.Tick(now)
+	// 3. Back-end: issue/execute/commit; detect branch resolution.
+	e.commitBuf = e.commitBuf[:0]
+	committed, resolved := e.backend.TickInto(now, e.commitBuf)
+	e.commitBuf = committed
+	for _, d := range committed {
+		if d.Static.Class == isa.OpBranch {
+			e.branches++
+		}
+		if d.MispredictedBranch {
+			e.mispredicts++
+		}
+		e.pool.Put(d)
+	}
+	if resolved != nil {
+		e.recoverFromMisprediction(now)
+	}
+	// 4. Release abandoned wrong-path demand fetches that completed.
+	e.sweepDrain(now)
+	// 5. Fetch: finish the in-flight line, start the next one.
+	e.fetchStage(now)
+	// 6. Dispatch up to FetchWidth fetched instructions into the RUU.
+	e.dispatchStage(now)
+	// 7. Predict one fetch block into the decoupling queue.
+	e.predictStage(now)
+
+	e.cycle++
+	if e.backend.Committed() >= e.target {
+		e.done = true
+	} else if e.cycle >= e.maxCycles {
+		e.done = true
+		e.err = fmt.Errorf("core %s: no forward progress after %d cycles (committed %d/%d)",
+			e.cfg.Name, e.cycle, e.backend.Committed(), e.target)
+	}
+	return !e.done
+}
+
+// Run simulates until completion and returns the collected results.
+func (e *Engine) Run() (*stats.Results, error) {
+	for e.Step() {
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.Results(), nil
+}
+
+// Results builds a fresh results record from the current counters.
+func (e *Engine) Results() *stats.Results {
+	r := &stats.Results{
+		Name:             e.cfg.Name,
+		Cycles:           e.cycle,
+		Committed:        e.backend.Committed(),
+		Fetched:          e.fetched,
+		WrongPathFetched: e.wrongPathFetched,
+		FetchSources:     e.fetchSources,
+		Branches:         e.branches,
+		Mispredictions:   e.mispredicts,
+	}
+	e.mem.Stats(r)
+	e.eng.CollectStats(r)
+	return r
+}
+
+// meta returns the bookkeeping slot for a block id, or nil when the slot was
+// already reused (cannot happen for in-flight blocks).
+func (e *Engine) meta(seqID uint64) *blockMeta {
+	m := &e.blockMeta[seqID%blockMetaRing]
+	if m.seqID != seqID {
+		return nil
+	}
+	return m
+}
+
+// storeMeta records bookkeeping for a newly predicted block.
+func (e *Engine) storeMeta(seqID uint64, traceBase, numInsts int, mispred bool) {
+	e.blockMeta[seqID%blockMetaRing] = blockMeta{
+		seqID: seqID, traceBase: traceBase, numInsts: numInsts, mispred: mispred,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Prediction stage
+
+// predictStage produces at most one fetch block per cycle (the stream
+// predictor's one-cycle latency).
+func (e *Engine) predictStage(now uint64) {
+	if now < e.predStallUntil || e.eng.QueueFull() {
+		return
+	}
+	if e.wrongPath {
+		e.predictWrongPath()
+		return
+	}
+	if e.predCursor < e.tr.Len() {
+		e.predictCorrectPath()
+	}
+}
+
+// endClassOf maps a terminating instruction to its stream end class.
+func endClassOf(si *isa.StaticInst) bpred.EndClass {
+	if si == nil {
+		return bpred.EndFallThrough
+	}
+	switch si.Class {
+	case isa.OpBranch:
+		return bpred.EndBranch
+	case isa.OpJump:
+		return bpred.EndJump
+	case isa.OpCall:
+		return bpred.EndCall
+	case isa.OpReturn:
+		return bpred.EndReturn
+	default:
+		return bpred.EndFallThrough
+	}
+}
+
+// predictCorrectPath predicts the next stream on the correct path, compares
+// it against the trace (the simulator is the oracle) and, on a mismatch,
+// switches the front-end onto the wrong path until the branch resolves.
+func (e *Engine) predictCorrectPath() {
+	start := e.tr.At(e.predCursor).PC
+
+	// Determine the actual stream: a run of records ending at the first
+	// taken control instruction, or cut at the maximum stream length.
+	n := 0
+	next := start
+	end := bpred.EndFallThrough
+	for n < e.maxStream && e.predCursor+n < e.tr.Len() {
+		rec := e.tr.At(e.predCursor + n)
+		n++
+		next = rec.Target
+		if rec.Taken {
+			end = endClassOf(e.dict.Inst(rec.PC))
+			break
+		}
+	}
+
+	// Checkpoint the RAS before the predictor speculatively mutates it.
+	e.pred.RASRef().SaveInto(&e.rasScratch)
+	pred := e.pred.Predict(start)
+	predN := pred.NumInsts
+	if predN < 1 {
+		predN = 1
+	}
+	if predN > e.maxStream {
+		predN = e.maxStream
+	}
+	match := predN == n && pred.Next == next
+
+	// The fetched correct-path prefix is the shared prefix of the predicted
+	// and actual paths: both run sequentially from start, so it is the
+	// shorter stream; a next-address mismatch diverges after the prefix.
+	m := n
+	if predN < n {
+		m = predN
+	}
+	correctNext := next
+	if m < n {
+		correctNext = start + isa.Addr(m)*isa.InstBytes
+	}
+
+	fb := ftq.FetchBlock{
+		Start:        start,
+		NumInsts:     m,
+		Next:         correctNext,
+		EndsInBranch: m == n && end != bpred.EndFallThrough,
+		SeqID:        e.nextSeqID,
+	}
+	if !e.eng.EnqueueBlock(fb) {
+		return // queue filled this cycle; retry next cycle
+	}
+	e.storeMeta(fb.SeqID, e.predCursor, m, !match)
+	e.nextSeqID++
+	e.predCursor += m
+
+	// Train with the actual stream (the paper trains at resolution; training
+	// at prediction time is equivalent for a deterministic trace oracle and
+	// keeps the loop simple).
+	e.pred.Train(bpred.Stream{Start: start, NumInsts: n, Next: next, End: end})
+
+	if match {
+		return
+	}
+	// Misprediction: the machine will discover it when the block's last
+	// instruction executes. Until then the front-end follows the predicted
+	// (wrong) path.
+	e.detectedMisp++
+	e.wrongPath = true
+	if predN > n {
+		// Predicted through the actual terminator: the wrong path continues
+		// sequentially inside the predicted block.
+		e.wrongPC = start + isa.Addr(n)*isa.InstBytes
+	} else {
+		e.wrongPC = pred.Next
+	}
+	e.recoveryValid = true
+	// The recovery PC needs no explicit record: predCursor already points at
+	// the first unconsumed record, whose PC is the correct redirect target.
+	// History: the push of `start` is path-independent, so the post-predict
+	// value is the correct-path history. The RAS, however, must be rewound
+	// to the pre-predict checkpoint and replayed with the ACTUAL end class.
+	e.recoverHistory = e.pred.HistorySnapshot()
+	e.recoverRAS, e.rasScratch = e.rasScratch, e.recoverRAS
+	e.recoverEnd = end
+	e.recoverRet = start + isa.Addr(n)*isa.InstBytes
+}
+
+// predictWrongPath keeps the predictor running down the mispredicted path,
+// generating wrong-path fetch blocks from its own tables over the program
+// image.
+func (e *Engine) predictWrongPath() {
+	pred := e.pred.Predict(e.wrongPC)
+	n := pred.NumInsts
+	if n < 1 {
+		n = 1
+	}
+	if n > e.maxStream {
+		n = e.maxStream
+	}
+	fb := ftq.FetchBlock{
+		Start:        e.wrongPC,
+		NumInsts:     n,
+		Next:         pred.Next,
+		EndsInBranch: pred.End != bpred.EndFallThrough,
+		WrongPath:    true,
+		SeqID:        e.nextSeqID,
+	}
+	if !e.eng.EnqueueBlock(fb) {
+		return
+	}
+	e.storeMeta(fb.SeqID, -1, n, false)
+	e.nextSeqID++
+	e.wrongPC = pred.Next
+}
+
+// ---------------------------------------------------------------------------
+// Fetch and dispatch stages
+
+// fetchStage completes the in-flight line fetch (delivering its instructions
+// into the dispatch queue) and starts the next line.
+func (e *Engine) fetchStage(now uint64) {
+	if e.fetchActive {
+		ready := false
+		src := stats.SrcPreBuffer
+		if e.fetchReq == nil {
+			ready = now >= e.fetchReadyAt
+		} else if e.fetchReq.Ready(now) {
+			ready = true
+			src = e.fetchReq.Source
+			e.mem.Release(e.fetchReq)
+			e.fetchReq = nil
+		}
+		if ready {
+			e.deliverLine(now, src)
+			e.fetchActive = false
+		}
+	}
+	// Start the next line once the dispatch queue can absorb a full line.
+	if e.fetchActive || dispatchQueueCap-e.dqN < 16 {
+		return
+	}
+	fr, ok := e.eng.NextFetch()
+	if !ok {
+		return
+	}
+	e.eng.PopFetch()
+	e.fetchFR = fr
+	if hit, lat := e.eng.LookupBuffer(fr.Line, now); hit {
+		if lat < 1 {
+			lat = 1
+		}
+		e.fetchReq = nil
+		e.fetchReadyAt = now + uint64(lat)
+	} else {
+		// Demand miss policy: fill the L1 (and the L0 when present) so the
+		// caches act as the emergency path after mispredictions.
+		e.fetchReq = e.mem.AccessIFetch(fr.Line, now, true, e.mem.HasL0())
+	}
+	e.fetchActive = true
+}
+
+// deliverLine turns the fetched line into dynamic instructions.
+func (e *Engine) deliverLine(now uint64, src stats.Source) {
+	fr := &e.fetchFR
+	m := e.meta(fr.BlockID)
+	e.fetchSources.Add(src, 1)
+	for i := 0; i < fr.NumInsts; i++ {
+		pc := fr.Start + isa.Addr(i)*isa.InstBytes
+		d := e.pool.Get()
+		e.seq++
+		d.Seq = e.seq
+		d.WrongPath = fr.WrongPath
+		d.FetchedAt = now
+		si := e.dict.Inst(pc)
+		if si == nil {
+			// Wrong-path fetch ran off the program image.
+			si = &e.nop
+		}
+		d.Static = si
+		if !fr.WrongPath && m != nil && m.traceBase >= 0 {
+			rec := e.tr.At(m.traceBase + m.delivered)
+			d.EffAddr = rec.EffAddr
+			m.delivered++
+			if m.mispred && m.delivered == m.numInsts {
+				d.MispredictedBranch = true
+			}
+		}
+		e.fetched++
+		if d.WrongPath {
+			e.wrongPathFetched++
+		}
+		e.dqPush(d)
+	}
+}
+
+// dispatchStage moves up to FetchWidth instructions into the back-end.
+func (e *Engine) dispatchStage(now uint64) {
+	for dispatched := 0; e.dqN > 0 && dispatched < e.cfg.FetchWidth; dispatched++ {
+		if !e.backend.Dispatch(e.dq[e.dqHead], now) {
+			return // RUU full: back-pressure on fetch
+		}
+		e.dqPop()
+	}
+}
+
+func (e *Engine) dqPush(d *pipeline.DynInst) {
+	if e.dqN >= dispatchQueueCap {
+		// Cannot happen: fetchStage leaves a full line of headroom.
+		panic("core: dispatch queue overflow")
+	}
+	e.dq[(e.dqHead+e.dqN)%dispatchQueueCap] = d
+	e.dqN++
+}
+
+func (e *Engine) dqPop() {
+	e.dq[e.dqHead] = nil
+	e.dqHead = (e.dqHead + 1) % dispatchQueueCap
+	e.dqN--
+}
+
+// ---------------------------------------------------------------------------
+// Misprediction recovery
+
+// recoverFromMisprediction flushes the wrong path after the mispredicted
+// branch resolved in the back-end.
+func (e *Engine) recoverFromMisprediction(now uint64) {
+	e.eng.Flush()
+	e.backend.SquashWrongPath()
+	e.mem.CancelPrefetches()
+
+	// Everything fetched after the (already dispatched and resolved) branch
+	// is wrong-path: drop it.
+	for e.dqN > 0 {
+		e.pool.Put(e.dq[e.dqHead])
+		e.dqPop()
+	}
+	// Abandon the in-flight line fetch; the request completes and is
+	// reclaimed in the background.
+	if e.fetchActive {
+		if e.fetchReq != nil {
+			e.drain = append(e.drain, e.fetchReq)
+			e.fetchReq = nil
+		}
+		e.fetchActive = false
+	}
+	// Restore speculative predictor state, replaying the actual stream's
+	// RAS effect (the wrong path may have pushed/popped arbitrarily).
+	if e.recoveryValid {
+		e.pred.RecoverHistory(e.recoverHistory)
+		e.pred.RASRef().Restore(e.recoverRAS)
+		switch e.recoverEnd {
+		case bpred.EndCall:
+			e.pred.RASRef().Push(e.recoverRet)
+		case bpred.EndReturn:
+			e.pred.RASRef().Pop()
+		}
+		e.recoveryValid = false
+	}
+	e.wrongPath = false
+	e.predStallUntil = now + uint64(e.cfg.RedirectPenalty)
+}
+
+// sweepDrain releases abandoned demand fetches whose data arrived.
+func (e *Engine) sweepDrain(now uint64) {
+	kept := e.drain[:0]
+	for _, r := range e.drain {
+		if r.Ready(now) {
+			e.mem.Release(r)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	e.drain = kept
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"clgp/internal/cacti"
+)
+
+// BenchmarkEngineCycle measures the cost of one simulated cycle of the full
+// system (CLGP engine, L0, small L1, gcc-like workload). The headline
+// requirement is 0 allocs/op: the steady-state cycle loop must not touch the
+// heap.
+func BenchmarkEngineCycle(b *testing.B) {
+	benchmarkEngineCycle(b, EngineCLGP)
+}
+
+// BenchmarkEngineCycleNone is the no-prefetch baseline cycle cost.
+func BenchmarkEngineCycleNone(b *testing.B) {
+	benchmarkEngineCycle(b, EngineNone)
+}
+
+func benchmarkEngineCycle(b *testing.B, kind EngineKind) {
+	w := icacheStressWorkload(b, 400_000, 7)
+	cfg := Config{Tech: cacti.Tech90, L1ISize: 2 << 10, Engine: kind, UseL0: kind != EngineNone}
+	eng, err := NewEngine(cfg, w.Dict, w.Trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up past cold-start growth of pools and rings so the timed region
+	// is pure steady state.
+	for i := 0; i < 20_000 && eng.Step(); i++ {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eng.Step() {
+			// Trace exhausted: restart on a fresh engine outside the timer.
+			b.StopTimer()
+			eng, err = NewEngine(cfg, w.Dict, w.Trace)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < 20_000 && eng.Step(); j++ {
+			}
+			b.StartTimer()
+		}
+	}
+}

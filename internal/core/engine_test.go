@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"clgp/internal/cacti"
+	"clgp/internal/stats"
+	"clgp/internal/workload"
+)
+
+// icacheStressProfile is a workload whose hot code footprint (48KB) vastly
+// exceeds the small L1 used in the tests, so instruction delivery dominates
+// performance — the regime where CLGP pays off.
+func icacheStressWorkload(t testing.TB, numInsts int, seed int64) *workload.Workload {
+	t.Helper()
+	p, err := workload.ProfileByName("gcc")
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	w, err := workload.Generate(p, numInsts, seed)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return w
+}
+
+func runConfig(t testing.TB, cfg Config, w *workload.Workload) *stats.Results {
+	t.Helper()
+	eng, err := NewEngine(cfg, w.Dict, w.Trace)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	r, err := eng.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return r
+}
+
+func TestEngineRunsAllSchemes(t *testing.T) {
+	w := icacheStressWorkload(t, 40_000, 1)
+	for _, kind := range []EngineKind{EngineNone, EngineNextN, EngineFDP, EngineCLGP} {
+		cfg := Config{Tech: cacti.Tech90, L1ISize: 2 << 10, Engine: kind, UseL0: kind != EngineNone}
+		r := runConfig(t, cfg, w)
+		if r.Committed != uint64(w.Trace.Len()) {
+			t.Errorf("%v: committed %d, want %d", kind, r.Committed, w.Trace.Len())
+		}
+		if r.Cycles == 0 || r.IPC() <= 0 {
+			t.Errorf("%v: degenerate run: cycles=%d IPC=%g", kind, r.Cycles, r.IPC())
+		}
+	}
+}
+
+func TestEngineIPCBoundedByCommitWidth(t *testing.T) {
+	w := icacheStressWorkload(t, 30_000, 2)
+	for _, kind := range []EngineKind{EngineNone, EngineCLGP} {
+		cfg := Config{Tech: cacti.Tech90, L1ISize: 64 << 10, Engine: kind}
+		cfg2, err := cfg.normalise()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := runConfig(t, cfg, w)
+		if ipc := r.IPC(); ipc > float64(cfg2.Backend.Width) {
+			t.Errorf("%v: IPC %.3f exceeds commit width %d", kind, ipc, cfg2.Backend.Width)
+		}
+	}
+}
+
+func TestEngineIdealICacheIsUpperBound(t *testing.T) {
+	w := icacheStressWorkload(t, 30_000, 3)
+	base := runConfig(t, Config{Tech: cacti.Tech90, L1ISize: 1 << 10, Engine: EngineNone}, w)
+	ideal := runConfig(t, Config{Tech: cacti.Tech90, L1ISize: 1 << 10, Engine: EngineNone, IdealICache: true}, w)
+	if ideal.IPC() < base.IPC() {
+		t.Errorf("ideal I-cache IPC %.4f below realistic %.4f", ideal.IPC(), base.IPC())
+	}
+}
+
+func TestCLGPBeatsNoneOnICacheStress(t *testing.T) {
+	// Small L1 (1KB) against a 48KB instruction working set: the baseline
+	// spends most fetches in the L2, while CLGP prestages lines guided by
+	// the CLTQ. This is the paper's central claim in miniature.
+	w := icacheStressWorkload(t, 60_000, 4)
+	none := runConfig(t, Config{Tech: cacti.Tech90, L1ISize: 1 << 10, Engine: EngineNone}, w)
+	clgp := runConfig(t, Config{Tech: cacti.Tech90, L1ISize: 1 << 10, Engine: EngineCLGP, PreBufferEntries: 16}, w)
+	if clgp.IPC() <= none.IPC() {
+		t.Errorf("CLGP IPC %.4f does not beat EngineNone IPC %.4f", clgp.IPC(), none.IPC())
+	}
+	if clgp.FetchSources[stats.SrcPreBuffer] == 0 {
+		t.Errorf("CLGP served no fetches from the prestage buffer")
+	}
+	if clgp.PrefetchesIssued == 0 {
+		t.Errorf("CLGP issued no prefetches")
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	cfg := Config{Tech: cacti.Tech45, L1ISize: 2 << 10, Engine: EngineCLGP, UseL0: true}
+	var first *stats.Results
+	for i := 0; i < 2; i++ {
+		// Regenerate the workload from the same seed each time: the whole
+		// pipeline (generation + simulation) must be reproducible.
+		w := icacheStressWorkload(t, 25_000, 42)
+		r := runConfig(t, cfg, w)
+		if first == nil {
+			first = r
+			continue
+		}
+		if r.Cycles != first.Cycles || r.Committed != first.Committed ||
+			r.Fetched != first.Fetched || r.Mispredictions != first.Mispredictions ||
+			r.L1Accesses != first.L1Accesses || r.PrefetchesIssued != first.PrefetchesIssued {
+			t.Errorf("run %d diverged: %+v vs %+v", i, r, first)
+		}
+	}
+}
+
+func TestEngineMaxInsts(t *testing.T) {
+	w := icacheStressWorkload(t, 30_000, 5)
+	cfg := Config{Tech: cacti.Tech90, L1ISize: 4 << 10, Engine: EngineFDP, MaxInsts: 10_000}
+	r := runConfig(t, cfg, w)
+	if r.Committed < 10_000 || r.Committed > 10_000+8 {
+		t.Errorf("committed %d, want ~10000 (MaxInsts)", r.Committed)
+	}
+}

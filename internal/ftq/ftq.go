@@ -11,6 +11,9 @@
 // Both queues bound occupancy by the number of fetch *blocks* (8 in the
 // paper), so FDP and CLGP get the same prediction look-ahead and the same
 // opportunities to initiate prefetches.
+//
+// Both queues are ring buffers: Push/Pop in steady state perform no heap
+// allocations, which keeps them off the profile of the core cycle loop.
 package ftq
 
 import (
@@ -43,20 +46,32 @@ type FetchBlock struct {
 }
 
 // Lines returns the cache-line addresses the block spans, in fetch order.
+// It allocates; hot-path callers should iterate with NumLines/LineAt.
 func (fb FetchBlock) Lines(lineSize int) []isa.Addr {
-	n := isa.LinesSpanned(fb.Start, fb.NumInsts, lineSize)
+	n := fb.NumLines(lineSize)
 	out := make([]isa.Addr, n)
-	first := isa.LineAddr(fb.Start, lineSize)
 	for i := 0; i < n; i++ {
-		out[i] = first + isa.Addr(i*lineSize)
+		out[i] = fb.LineAt(i, lineSize)
 	}
 	return out
 }
 
-// FTQ is the fetch target queue: a bounded FIFO of fetch blocks.
+// NumLines returns the number of cache lines the block spans.
+func (fb FetchBlock) NumLines(lineSize int) int {
+	return isa.LinesSpanned(fb.Start, fb.NumInsts, lineSize)
+}
+
+// LineAt returns the i-th cache line address of the block (0-based).
+func (fb FetchBlock) LineAt(i, lineSize int) isa.Addr {
+	return isa.LineAddr(fb.Start, lineSize) + isa.Addr(i*lineSize)
+}
+
+// FTQ is the fetch target queue: a bounded FIFO of fetch blocks backed by a
+// fixed ring buffer.
 type FTQ struct {
-	capacity int
-	blocks   []FetchBlock
+	blocks []FetchBlock // ring storage, len == capacity
+	head   int
+	n      int
 }
 
 // NewFTQ creates an FTQ bounded to capacity fetch blocks.
@@ -64,27 +79,28 @@ func NewFTQ(capacity int) (*FTQ, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("ftq: capacity must be positive, got %d", capacity)
 	}
-	return &FTQ{capacity: capacity}, nil
+	return &FTQ{blocks: make([]FetchBlock, capacity)}, nil
 }
 
 // Capacity returns the maximum number of fetch blocks.
-func (q *FTQ) Capacity() int { return q.capacity }
+func (q *FTQ) Capacity() int { return len(q.blocks) }
 
 // Len returns the current number of fetch blocks.
-func (q *FTQ) Len() int { return len(q.blocks) }
+func (q *FTQ) Len() int { return q.n }
 
 // Full reports whether no further block can be enqueued.
-func (q *FTQ) Full() bool { return len(q.blocks) >= q.capacity }
+func (q *FTQ) Full() bool { return q.n >= len(q.blocks) }
 
 // Empty reports whether the queue has no blocks.
-func (q *FTQ) Empty() bool { return len(q.blocks) == 0 }
+func (q *FTQ) Empty() bool { return q.n == 0 }
 
 // Push enqueues a fetch block; it returns false when the queue is full.
 func (q *FTQ) Push(fb FetchBlock) bool {
 	if q.Full() {
 		return false
 	}
-	q.blocks = append(q.blocks, fb)
+	q.blocks[(q.head+q.n)%len(q.blocks)] = fb
+	q.n++
 	return true
 }
 
@@ -93,7 +109,7 @@ func (q *FTQ) Head() (FetchBlock, bool) {
 	if q.Empty() {
 		return FetchBlock{}, false
 	}
-	return q.blocks[0], true
+	return q.blocks[q.head], true
 }
 
 // Pop removes and returns the oldest block.
@@ -101,21 +117,25 @@ func (q *FTQ) Pop() (FetchBlock, bool) {
 	if q.Empty() {
 		return FetchBlock{}, false
 	}
-	fb := q.blocks[0]
-	q.blocks = q.blocks[1:]
+	fb := q.blocks[q.head]
+	q.head = (q.head + 1) % len(q.blocks)
+	q.n--
 	return fb, true
 }
 
 // At returns the i-th oldest block (0 = head) for prefetch scanning.
 func (q *FTQ) At(i int) (FetchBlock, bool) {
-	if i < 0 || i >= len(q.blocks) {
+	if i < 0 || i >= q.n {
 		return FetchBlock{}, false
 	}
-	return q.blocks[i], true
+	return q.blocks[(q.head+i)%len(q.blocks)], true
 }
 
 // Flush empties the queue (branch misprediction recovery).
-func (q *FTQ) Flush() { q.blocks = q.blocks[:0] }
+func (q *FTQ) Flush() {
+	q.head = 0
+	q.n = 0
+}
 
 // CLTQEntry is one cache-line-granularity entry of the CLTQ.
 type CLTQEntry struct {
@@ -150,14 +170,22 @@ type CLTQEntry struct {
 
 // CLTQ is the cache line target queue. Occupancy is bounded by the number of
 // distinct fetch blocks whose lines are queued (to match the FTQ bound), not
-// by the number of line entries.
+// by the number of line entries. Storage is a growable ring buffer; once the
+// ring has grown to the working-set size, Push/Pop allocate nothing.
 type CLTQ struct {
 	blockCapacity int
 	lineSize      int
-	entries       []CLTQEntry
+	entries       []CLTQEntry // ring storage
+	head          int
+	n             int
 	blockCount    int
 	lastBlockID   uint64
 	haveLastBlock bool
+	// scanHint is the logical index below which every entry is known to be
+	// prefetched, so NextUnprefetched does not rescan the whole queue.
+	scanHint int
+	// linesScratch backs QueuedLines so that repeated calls do not allocate.
+	linesScratch []isa.Addr
 }
 
 // NewCLTQ creates a CLTQ bounded to blockCapacity fetch blocks, splitting
@@ -182,13 +210,32 @@ func (q *CLTQ) LineSize() int { return q.lineSize }
 func (q *CLTQ) Blocks() int { return q.blockCount }
 
 // Len returns the number of line entries currently queued.
-func (q *CLTQ) Len() int { return len(q.entries) }
+func (q *CLTQ) Len() int { return q.n }
 
 // Full reports whether another fetch block can be accepted.
 func (q *CLTQ) Full() bool { return q.blockCount >= q.blockCapacity }
 
 // Empty reports whether there are no line entries.
-func (q *CLTQ) Empty() bool { return len(q.entries) == 0 }
+func (q *CLTQ) Empty() bool { return q.n == 0 }
+
+// at returns a pointer to the i-th oldest entry; i must be in [0, q.n).
+func (q *CLTQ) at(i int) *CLTQEntry {
+	return &q.entries[(q.head+i)%len(q.entries)]
+}
+
+// push appends one entry, growing the ring if needed.
+func (q *CLTQ) push(e CLTQEntry) {
+	if q.n == len(q.entries) {
+		grown := make([]CLTQEntry, max(16, 2*len(q.entries)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = *q.at(i)
+		}
+		q.entries = grown
+		q.head = 0
+	}
+	q.entries[(q.head+q.n)%len(q.entries)] = e
+	q.n++
+}
 
 // Push splits a fetch block into fetch cache lines and enqueues them. It
 // returns false (enqueuing nothing) when the queue already holds its maximum
@@ -200,11 +247,12 @@ func (q *CLTQ) Push(fb FetchBlock) bool {
 	if fb.NumInsts <= 0 {
 		return false
 	}
-	lines := fb.Lines(q.lineSize)
+	numLines := fb.NumLines(q.lineSize)
 	instsPerLine := q.lineSize / isa.InstBytes
 	start := fb.Start
 	remaining := fb.NumInsts
-	for i, la := range lines {
+	for i := 0; i < numLines; i++ {
+		la := fb.LineAt(i, q.lineSize)
 		// Number of instructions of this block within this line.
 		offInsts := int(start-la) / isa.InstBytes
 		n := instsPerLine - offInsts
@@ -218,13 +266,13 @@ func (q *CLTQ) Push(fb FetchBlock) bool {
 			BlockID:      fb.SeqID,
 			WrongPath:    fb.WrongPath,
 			Occupied:     true,
-			LastOfBlock:  i == len(lines)-1,
-			EndsInBranch: fb.EndsInBranch && i == len(lines)-1,
+			LastOfBlock:  i == numLines-1,
+			EndsInBranch: fb.EndsInBranch && i == numLines-1,
 		}
 		if e.LastOfBlock {
 			e.Next = fb.Next
 		}
-		q.entries = append(q.entries, e)
+		q.push(e)
 		start = la + isa.Addr(q.lineSize)
 		remaining -= n
 	}
@@ -239,7 +287,7 @@ func (q *CLTQ) Head() (CLTQEntry, bool) {
 	if q.Empty() {
 		return CLTQEntry{}, false
 	}
-	return q.entries[0], true
+	return *q.at(0), true
 }
 
 // Pop removes and returns the oldest line entry, updating the block count
@@ -248,8 +296,12 @@ func (q *CLTQ) Pop() (CLTQEntry, bool) {
 	if q.Empty() {
 		return CLTQEntry{}, false
 	}
-	e := q.entries[0]
-	q.entries = q.entries[1:]
+	e := *q.at(0)
+	q.head = (q.head + 1) % len(q.entries)
+	q.n--
+	if q.scanHint > 0 {
+		q.scanHint--
+	}
 	if e.LastOfBlock {
 		q.blockCount--
 	}
@@ -258,47 +310,63 @@ func (q *CLTQ) Pop() (CLTQEntry, bool) {
 
 // At returns the i-th oldest line entry (0 = head).
 func (q *CLTQ) At(i int) (CLTQEntry, bool) {
-	if i < 0 || i >= len(q.entries) {
+	if i < 0 || i >= q.n {
 		return CLTQEntry{}, false
 	}
-	return q.entries[i], true
+	return *q.at(i), true
 }
 
 // MarkPrefetched sets the prefetched bit of the i-th oldest entry.
 func (q *CLTQ) MarkPrefetched(i int) {
-	if i >= 0 && i < len(q.entries) {
-		q.entries[i].Prefetched = true
+	if i >= 0 && i < q.n {
+		q.at(i).Prefetched = true
 	}
 }
 
 // NextUnprefetched returns the index of the oldest entry whose prefetched
-// bit is clear, or -1 when every queued entry has been processed.
+// bit is clear, or -1 when every queued entry has been processed. The scan
+// resumes from the last known prefetched prefix, so a full walk of the queue
+// happens only once per entry rather than once per cycle.
 func (q *CLTQ) NextUnprefetched() int {
-	for i := range q.entries {
-		if !q.entries[i].Prefetched {
+	for i := q.scanHint; i < q.n; i++ {
+		if !q.at(i).Prefetched {
+			q.scanHint = i
 			return i
 		}
+		q.scanHint = i + 1
 	}
 	return -1
 }
 
 // Flush empties the queue (branch misprediction recovery).
 func (q *CLTQ) Flush() {
-	q.entries = q.entries[:0]
+	q.head = 0
+	q.n = 0
 	q.blockCount = 0
 	q.haveLastBlock = false
+	q.scanHint = 0
 }
 
 // QueuedLines returns the distinct line addresses currently queued, in order
-// of first appearance. Used by tests to cross-check consumers counters.
+// of first appearance. The returned slice is owned by the CLTQ and is only
+// valid until the next call (it previously allocated a fresh map and slice
+// per call; the queue is at most a few tens of entries, so a linear-scan
+// dedup into a reusable buffer is both allocation-free and faster).
 func (q *CLTQ) QueuedLines() []isa.Addr {
-	seen := make(map[isa.Addr]bool)
-	var out []isa.Addr
-	for _, e := range q.entries {
-		if !seen[e.Line] {
-			seen[e.Line] = true
-			out = append(out, e.Line)
+	out := q.linesScratch[:0]
+	for i := 0; i < q.n; i++ {
+		line := q.at(i).Line
+		seen := false
+		for _, l := range out {
+			if l == line {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, line)
 		}
 	}
+	q.linesScratch = out
 	return out
 }

@@ -61,6 +61,7 @@ type Request struct {
 	FillL1, FillL0 bool
 
 	scheduled bool
+	cancelled bool
 	readyAt   uint64
 	issuedAt  uint64
 }
@@ -71,8 +72,16 @@ func (r *Request) Scheduled() bool { return r.scheduled }
 // ReadyAt returns the completion cycle (only meaningful once Scheduled).
 func (r *Request) ReadyAt() uint64 { return r.readyAt }
 
-// Ready reports whether the data is available at cycle now.
-func (r *Request) Ready(now uint64) bool { return r.scheduled && now >= r.readyAt }
+// Ready reports whether the data is available at cycle now. A cancelled
+// request reports ready so that its owner notices it and releases it.
+func (r *Request) Ready(now uint64) bool {
+	return (r.scheduled && now >= r.readyAt) || r.cancelled
+}
+
+// Cancelled reports whether the request was dropped before being granted the
+// bus (CancelPrefetches). The owner must not use its data and should release
+// it back to the hierarchy.
+func (r *Request) Cancelled() bool { return r.cancelled }
 
 // Config describes the hierarchy for one simulated configuration.
 type Config struct {
@@ -198,9 +207,19 @@ type Hierarchy struct {
 	l1d *cache.Cache
 	l2  *cache.Cache
 
-	arb     *bus.Arbiter
-	waiting map[uint64]*Request // keyed by arbitration tag
-	nextTag uint64
+	arb *bus.Arbiter
+
+	// slots is a dense table of requests waiting for the bus, indexed by
+	// their arbitration tag. Tags are recycled through freeSlots, so the
+	// table stays small and lookups are a single index instead of the map
+	// the hierarchy used to keep (which both allocated and hashed on the
+	// per-cycle path).
+	slots     []*Request
+	freeSlots []uint32
+
+	// reqFree is the Request free-list: completed requests are returned via
+	// Release and reused, so steady-state simulation allocates no Requests.
+	reqFree []*Request
 
 	// statistics
 	l2IAccesses, l2IMisses uint64
@@ -214,7 +233,7 @@ func New(cfg Config) (*Hierarchy, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &Hierarchy{cfg: cfg, arb: bus.New(), waiting: make(map[uint64]*Request)}
+	h := &Hierarchy{cfg: cfg, arb: bus.New()}
 
 	h.l1i, err = cache.New(cache.Config{
 		Name: "L1I", SizeBytes: cfg.L1ISize, LineBytes: cfg.LineBytes, Assoc: cfg.L1IAssoc,
@@ -280,13 +299,43 @@ func (h *Hierarchy) HasL0() bool { return h.l0 != nil }
 // LineAddr aligns an address to the L1 line size.
 func (h *Hierarchy) LineAddr(a isa.Addr) isa.Addr { return isa.LineAddr(a, h.cfg.LineBytes) }
 
+// newRequest takes a request from the free-list (or allocates one) and
+// initialises it.
+func (h *Hierarchy) newRequest(line isa.Addr, kind Kind) *Request {
+	var r *Request
+	if n := len(h.reqFree); n > 0 {
+		r = h.reqFree[n-1]
+		h.reqFree = h.reqFree[:n-1]
+	} else {
+		r = &Request{}
+	}
+	*r = Request{Line: line, Kind: kind}
+	return r
+}
+
+// Release returns a completed (or cancelled) request to the free-list. The
+// caller must not touch the request afterwards. Requests still waiting for
+// the bus must not be released.
+func (h *Hierarchy) Release(r *Request) {
+	if r == nil {
+		return
+	}
+	h.reqFree = append(h.reqFree, r)
+}
+
 // enqueueBus registers a request that needs the L2 bus.
 func (h *Hierarchy) enqueueBus(r *Request, from bus.Requester, now uint64) {
-	h.nextTag++
-	tag := h.nextTag
-	h.waiting[tag] = r
+	var tag uint32
+	if n := len(h.freeSlots); n > 0 {
+		tag = h.freeSlots[n-1]
+		h.freeSlots = h.freeSlots[:n-1]
+	} else {
+		tag = uint32(len(h.slots))
+		h.slots = append(h.slots, nil)
+	}
+	h.slots[tag] = r
 	r.issuedAt = now
-	h.arb.Enqueue(bus.Request{From: from, Tag: tag, Enqueued: now})
+	h.arb.Enqueue(bus.Request{From: from, Tag: uint64(tag), Enqueued: now})
 }
 
 // AccessIFetch performs a demand instruction fetch for the line containing
@@ -296,7 +345,8 @@ func (h *Hierarchy) enqueueBus(r *Request, from bus.Requester, now uint64) {
 // memory.
 func (h *Hierarchy) AccessIFetch(addr isa.Addr, now uint64, fillL1, fillL0 bool) *Request {
 	line := h.LineAddr(addr)
-	r := &Request{Line: line, Kind: KindIFetch, FillL1: fillL1, FillL0: fillL0}
+	r := h.newRequest(line, KindIFetch)
+	r.FillL1, r.FillL0 = fillL1, fillL0
 
 	if h.cfg.IdealICache {
 		// Figure 1 "ideal": every fetch is a one-cycle L1 hit.
@@ -351,7 +401,7 @@ func (h *Hierarchy) AccessIFetch(addr isa.Addr, now uint64, fillL1, fillL0 bool)
 // priority).
 func (h *Hierarchy) AccessIPrefetch(addr isa.Addr, now uint64) *Request {
 	line := h.LineAddr(addr)
-	r := &Request{Line: line, Kind: KindIPrefetch}
+	r := h.newRequest(line, KindIPrefetch)
 
 	if h.cfg.PrefetchFromL1 && h.l1i.Probe(line) {
 		r.Source = stats.SrcL1
@@ -369,7 +419,7 @@ func (h *Hierarchy) AccessIPrefetch(addr isa.Addr, now uint64) *Request {
 // over the bus with the highest priority.
 func (h *Hierarchy) AccessData(addr isa.Addr, now uint64, isStore bool) *Request {
 	line := isa.LineAddr(addr, h.cfg.LineBytes)
-	r := &Request{Line: line, Kind: KindData}
+	r := h.newRequest(line, KindData)
 	hit := h.l1d.Lookup(line)
 	if hit || isStore {
 		if !hit {
@@ -397,8 +447,10 @@ func (h *Hierarchy) Tick(now uint64) {
 	if !ok {
 		return
 	}
-	r := h.waiting[req.Tag]
-	delete(h.waiting, req.Tag)
+	tag := uint32(req.Tag)
+	r := h.slots[tag]
+	h.slots[tag] = nil
+	h.freeSlots = append(h.freeSlots, tag)
 	if r == nil {
 		return
 	}
@@ -447,12 +499,17 @@ func (h *Hierarchy) PendingBusRequests() int { return h.arb.Pending() }
 
 // CancelPrefetches drops all prefetch requests still waiting for the bus
 // (used on a misprediction flush). Requests already granted complete
-// normally. It returns the number of cancelled requests.
+// normally. Cancelled requests are marked ready-and-cancelled so their
+// owners observe the cancellation and release them. It returns the number of
+// cancelled requests.
 func (h *Hierarchy) CancelPrefetches() int {
 	n := h.arb.Flush(bus.ReqPrefetch)
-	for tag, r := range h.waiting {
-		if r.Kind == KindIPrefetch && !r.scheduled {
-			delete(h.waiting, tag)
+	for tag := range h.slots {
+		r := h.slots[tag]
+		if r != nil && r.Kind == KindIPrefetch && !r.scheduled {
+			h.slots[tag] = nil
+			h.freeSlots = append(h.freeSlots, uint32(tag))
+			r.cancelled = true
 		}
 	}
 	return n

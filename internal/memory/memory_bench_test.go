@@ -1,0 +1,52 @@
+package memory
+
+import (
+	"testing"
+
+	"clgp/internal/cacti"
+	"clgp/internal/isa"
+)
+
+// BenchmarkHierarchyTick measures the per-cycle cost of the memory system
+// with a realistic mix of demand fetches, prefetches and data accesses in
+// flight. The request free-list and the dense tag table must keep this at
+// 0 allocs/op.
+func BenchmarkHierarchyTick(b *testing.B) {
+	h := MustNew(DefaultConfig(cacti.Tech90, 4<<10))
+	var pending []*Request
+	now := uint64(0)
+	step := func(i int) {
+		// Keep a few requests of each class in flight.
+		if i%3 == 0 {
+			pending = append(pending, h.AccessIFetch(isa.Addr(i*64), now, true, false))
+		}
+		if i%5 == 0 {
+			pending = append(pending, h.AccessIPrefetch(isa.Addr(i*64+0x10_0000), now))
+		}
+		if i%7 == 0 {
+			pending = append(pending, h.AccessData(isa.Addr(i*8+0x80_0000), now, i%2 == 0))
+		}
+		h.Tick(now)
+		now++
+		// Reclaim completed requests.
+		kept := pending[:0]
+		for _, r := range pending {
+			if r.Ready(now) {
+				h.Release(r)
+				continue
+			}
+			kept = append(kept, r)
+		}
+		pending = kept
+	}
+	// Warm up past cold-start growth of the free-lists and the pending
+	// slice so the timed region is steady state.
+	for i := 0; i < 4096; i++ {
+		step(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(i)
+	}
+}

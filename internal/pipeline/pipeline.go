@@ -44,7 +44,55 @@ type DynInst struct {
 	memReq    *memory.Request
 	// deps are the in-flight producers of this instruction's source
 	// registers; the instruction may issue only once both have completed.
-	deps [2]*DynInst
+	// Each reference carries the producer's sequence number so that a
+	// producer recycled through a Pool (necessarily committed or squashed,
+	// hence done) is recognised and never stalls the consumer.
+	deps [2]depRef
+}
+
+// depRef is a recycling-safe reference to a producer instruction.
+type depRef struct {
+	d   *DynInst
+	seq uint64
+}
+
+// done reports whether the referenced producer has completed by cycle now.
+func (r depRef) done(now uint64) bool {
+	if r.d == nil || r.d.Seq != r.seq {
+		// No producer, or the object was recycled for a younger instruction:
+		// the original producer has left the pipeline.
+		return true
+	}
+	return r.d.state == stateCompleted && r.d.completAt <= now
+}
+
+// Pool is a free-list of DynInsts. The front-end takes instructions from the
+// pool at fetch time and the back-end returns them on commit and squash, so
+// the steady-state cycle loop allocates no instruction objects.
+type Pool struct {
+	free []*DynInst
+}
+
+// NewPool creates an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed DynInst, reusing a released one when available.
+func (p *Pool) Get() *DynInst {
+	if n := len(p.free); n > 0 {
+		d := p.free[n-1]
+		p.free = p.free[:n-1]
+		*d = DynInst{}
+		return d
+	}
+	return &DynInst{}
+}
+
+// Put releases an instruction back to the pool. The caller must not touch it
+// afterwards.
+func (p *Pool) Put(d *DynInst) {
+	if d != nil {
+		p.free = append(p.free, d)
+	}
 }
 
 type instState uint8
@@ -110,11 +158,21 @@ type Backend struct {
 	cfg Config
 	mem *memory.Hierarchy
 
-	ruu []*DynInst // in program order; index 0 is the oldest
+	// ruu is a fixed ring buffer of in-flight instructions in program order;
+	// logical index 0 (at head) is the oldest. A ring keeps dispatch/commit
+	// allocation-free, unlike the grow-and-shift slice it replaces.
+	ruu     []*DynInst
+	ruuHead int
+	ruuN    int
+
+	// pool, when set, receives committed and squashed instructions so their
+	// objects are recycled by the front-end.
+	pool *Pool
 
 	// regProducer tracks, per architectural register, the most recently
 	// dispatched correct-path instruction that writes it (the scoreboard).
-	regProducer [isa.NumRegs]*DynInst
+	// References are seq-tagged: see depRef.
+	regProducer [isa.NumRegs]depRef
 
 	// statistics
 	committed    uint64
@@ -131,8 +189,15 @@ func New(cfg Config, mem *memory.Hierarchy) (*Backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Backend{cfg: cfg, mem: mem}, nil
+	return &Backend{cfg: cfg, mem: mem, ruu: make([]*DynInst, cfg.RUUSize)}, nil
 }
+
+// SetPool attaches a DynInst pool; committed and squashed instructions are
+// released to it. Without a pool the caller owns released instructions.
+func (b *Backend) SetPool(p *Pool) { b.pool = p }
+
+// ruuAt returns the instruction at logical index i (0 = oldest).
+func (b *Backend) ruuAt(i int) *DynInst { return b.ruu[(b.ruuHead+i)%len(b.ruu)] }
 
 // MustNew is New but panics on configuration errors.
 func MustNew(cfg Config, mem *memory.Hierarchy) *Backend {
@@ -147,10 +212,10 @@ func MustNew(cfg Config, mem *memory.Hierarchy) *Backend {
 func (b *Backend) Config() Config { return b.cfg }
 
 // FreeSlots returns how many instructions can currently be dispatched.
-func (b *Backend) FreeSlots() int { return b.cfg.RUUSize - len(b.ruu) }
+func (b *Backend) FreeSlots() int { return b.cfg.RUUSize - b.ruuN }
 
 // Occupancy returns the number of instructions in the RUU.
-func (b *Backend) Occupancy() int { return len(b.ruu) }
+func (b *Backend) Occupancy() int { return b.ruuN }
 
 // Committed returns the number of committed (correct-path) instructions.
 func (b *Backend) Committed() uint64 { return b.committed }
@@ -166,7 +231,7 @@ func (b *Backend) ResolvedMispredictions() uint64 { return b.resolvedMisp }
 // Width instructions should be dispatched per cycle; the caller enforces
 // that (it is the same limit as the fetch width).
 func (b *Backend) Dispatch(d *DynInst, now uint64) bool {
-	if len(b.ruu) >= b.cfg.RUUSize {
+	if b.ruuN >= b.cfg.RUUSize {
 		return false
 	}
 	d.state = stateDispatched
@@ -181,35 +246,39 @@ func (b *Backend) Dispatch(d *DynInst, now uint64) bool {
 			d.deps[1] = b.regProducer[d.Static.Src2]
 		}
 		if d.Static.Dst != isa.RegZero {
-			b.regProducer[d.Static.Dst] = d
+			b.regProducer[d.Static.Dst] = depRef{d: d, seq: d.Seq}
 		}
 	}
-	b.ruu = append(b.ruu, d)
+	b.ruu[(b.ruuHead+b.ruuN)%len(b.ruu)] = d
+	b.ruuN++
 	return true
 }
 
 // depsReady reports whether every source producer of d has completed by
 // cycle now.
 func depsReady(d *DynInst, now uint64) bool {
-	for _, p := range d.deps {
-		if p == nil {
-			continue
-		}
-		if p.state != stateCompleted || p.completAt > now {
-			return false
-		}
-	}
-	return true
+	return d.deps[0].done(now) && d.deps[1].done(now)
 }
 
 // Tick advances execution and commit by one cycle. It returns the
 // instructions committed this cycle and, if a mispredicted branch completed
 // execution this cycle, that branch (resolution); the caller then flushes
-// the front-end and calls SquashWrongPath.
+// the front-end and calls SquashWrongPath. Tick allocates the committed
+// slice; the core's cycle loop uses TickInto with a reusable buffer instead.
 func (b *Backend) Tick(now uint64) (committed []*DynInst, resolved *DynInst) {
+	return b.TickInto(now, nil)
+}
+
+// TickInto is Tick appending the committed instructions into buf (which may
+// be nil) and returning the extended slice. With a buffer of capacity Width
+// it performs no allocations. Committed instructions are NOT released to the
+// pool — the caller consumes them (stats, training) and releases them.
+func (b *Backend) TickInto(now uint64, buf []*DynInst) (committed []*DynInst, resolved *DynInst) {
+	committed = buf
 	// Issue / execute.
 	issued := 0
-	for _, d := range b.ruu {
+	for i := 0; i < b.ruuN; i++ {
+		d := b.ruuAt(i)
 		switch d.state {
 		case stateDispatched:
 			if issued >= b.cfg.Width || now < d.issueAt || !depsReady(d, now) {
@@ -219,6 +288,10 @@ func (b *Backend) Tick(now uint64) (committed []*DynInst, resolved *DynInst) {
 			b.issue(d, now)
 		case stateWaitingMem:
 			if d.memReq != nil && d.memReq.Ready(now) {
+				if b.mem != nil {
+					b.mem.Release(d.memReq)
+				}
+				d.memReq = nil
 				d.completAt = now
 				b.finish(d)
 			}
@@ -234,12 +307,14 @@ func (b *Backend) Tick(now uint64) (committed []*DynInst, resolved *DynInst) {
 	}
 
 	// In-order commit of up to Width completed correct-path instructions.
-	for len(b.ruu) > 0 && len(committed) < b.cfg.Width {
-		head := b.ruu[0]
+	for b.ruuN > 0 && len(committed)-len(buf) < b.cfg.Width {
+		head := b.ruu[b.ruuHead]
 		if head.WrongPath || head.state != stateCompleted || head.completAt > now {
 			break
 		}
-		b.ruu = b.ruu[1:]
+		b.ruu[b.ruuHead] = nil
+		b.ruuHead = (b.ruuHead + 1) % len(b.ruu)
+		b.ruuN--
 		b.committed++
 		committed = append(committed, head)
 	}
@@ -262,8 +337,9 @@ func (b *Backend) issue(d *DynInst, now uint64) {
 	case cls == isa.OpStore:
 		b.storesExec++
 		if b.mem != nil && !d.WrongPath {
-			// Stores complete immediately from the pipeline's perspective.
-			b.mem.AccessData(d.EffAddr, now, true)
+			// Stores complete immediately from the pipeline's perspective;
+			// the request is consumed on the spot, so release it right away.
+			b.mem.Release(b.mem.AccessData(d.EffAddr, now, true))
 		}
 		d.completAt = now + 1
 		d.state = stateIssued
@@ -279,31 +355,41 @@ func (b *Backend) finish(d *DynInst) {
 }
 
 // SquashWrongPath removes every wrong-path instruction from the RUU. The
-// core calls it when the mispredicted branch resolves. It returns the number
-// of squashed instructions.
+// core calls it when the mispredicted branch resolves. Squashed instructions
+// are released to the pool when one is attached. It returns the number of
+// squashed instructions.
 func (b *Backend) SquashWrongPath() int {
-	kept := b.ruu[:0]
 	n := 0
-	for _, d := range b.ruu {
+	w := 0
+	for r := 0; r < b.ruuN; r++ {
+		d := b.ruuAt(r)
 		if d.WrongPath {
 			n++
+			if b.pool != nil {
+				b.pool.Put(d)
+			}
 			continue
 		}
-		kept = append(kept, d)
+		b.ruu[(b.ruuHead+w)%len(b.ruu)] = d
+		w++
 	}
-	b.ruu = kept
+	// Clear the vacated tail slots so no stale pointers linger.
+	for i := w; i < b.ruuN; i++ {
+		b.ruu[(b.ruuHead+i)%len(b.ruu)] = nil
+	}
+	b.ruuN = w
 	b.wrongSquash += uint64(n)
 	return n
 }
 
 // Drained reports whether the RUU is empty.
-func (b *Backend) Drained() bool { return len(b.ruu) == 0 }
+func (b *Backend) Drained() bool { return b.ruuN == 0 }
 
 // OldestUncommitted returns the sequence number of the oldest instruction in
 // the RUU, or 0 and false when empty. Useful for debugging deadlocks.
 func (b *Backend) OldestUncommitted() (uint64, bool) {
-	if len(b.ruu) == 0 {
+	if b.ruuN == 0 {
 		return 0, false
 	}
-	return b.ruu[0].Seq, true
+	return b.ruu[b.ruuHead].Seq, true
 }

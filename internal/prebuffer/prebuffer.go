@@ -336,6 +336,19 @@ func (sb *PrestageBuffer) Lookup(line isa.Addr) bool {
 	return true
 }
 
+// Invalidate removes the line's entry entirely, forgetting any pending
+// consumers. Used when the line's in-flight prefetch is cancelled: keeping
+// the never-to-be-filled entry around would make Request report the line as
+// already staged and suppress the re-prefetch on the correct path.
+func (sb *PrestageBuffer) Invalidate(line isa.Addr) {
+	if i := sb.find(line); i >= 0 {
+		if sb.entries[i].used {
+			sb.usedLines++
+		}
+		sb.entries[i] = entry{}
+	}
+}
+
 // Consumers returns the consumers counter of line, or -1 if absent.
 func (sb *PrestageBuffer) Consumers(line isa.Addr) int {
 	if i := sb.find(line); i >= 0 {

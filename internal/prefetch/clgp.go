@@ -92,7 +92,10 @@ func (e *CLGPEngine) LookupBuffer(line isa.Addr, now uint64) (bool, int) {
 // filtering), update prestage buffer lifetimes or issue prefetches, and
 // complete outstanding fills.
 func (e *CLGPEngine) Tick(now uint64) {
-	e.completeFills(now, e.buf.Fill)
+	// Cancelled prefetches must drop their pending prestage entry: leaving
+	// it allocated would make later Requests for the line report it as
+	// already staged and never re-issue the prefetch.
+	e.completeFills(now, e.buf.Fill, e.buf.Invalidate)
 
 	processed := 0
 	for processed < e.cfg.MaxPerCycle {

@@ -22,11 +22,8 @@ type FDPEngine struct {
 
 	// candidates is the prefetch instruction queue: line addresses waiting
 	// to be filtered/issued, expanded from enqueued fetch blocks.
-	candidates []isa.Addr
+	candidates candRing
 }
-
-// maxCandidateQueue bounds the prefetch instruction queue.
-const maxCandidateQueue = 32
 
 // NewFDP creates an FDP engine bound to the memory hierarchy.
 func NewFDP(cfg Config, mem *memory.Hierarchy) (*FDPEngine, error) {
@@ -61,11 +58,10 @@ func (e *FDPEngine) EnqueueBlock(fb ftq.FetchBlock) bool {
 	if !e.cursor.q.Push(fb) {
 		return false
 	}
-	for _, line := range fb.Lines(e.cfg.LineBytes) {
-		if len(e.candidates) >= maxCandidateQueue {
+	for i, n := 0, fb.NumLines(e.cfg.LineBytes); i < n; i++ {
+		if !e.candidates.push(fb.LineAt(i, e.cfg.LineBytes)) {
 			break
 		}
-		e.candidates = append(e.candidates, line)
 	}
 	return true
 }
@@ -104,28 +100,30 @@ func (e *FDPEngine) LookupBuffer(line isa.Addr, now uint64) (bool, int) {
 // Tick implements Engine: filter and issue prefetch candidates, and complete
 // outstanding fills.
 func (e *FDPEngine) Tick(now uint64) {
-	e.completeFills(now, e.buf.Fill)
+	// Cancelled prefetches must free their pending buffer entry, or the
+	// buffer would slowly fill with dead allocations after flushes.
+	e.completeFills(now, e.buf.Fill, e.buf.Invalidate)
 
 	processed := 0
-	for len(e.candidates) > 0 && processed < e.cfg.MaxPerCycle {
-		line := e.candidates[0]
+	for e.candidates.n > 0 && processed < e.cfg.MaxPerCycle {
+		line := e.candidates.peek()
 		// Enqueue Cache Probe Filtering: skip lines already in the caches.
 		if e.cfg.HasL0 && e.mem.L0() != nil && e.mem.L0().Probe(line) {
 			e.recordSource(stats.SrcL0)
-			e.candidates = e.candidates[1:]
+			e.candidates.pop()
 			processed++
 			continue
 		}
 		if e.mem.L1I().Probe(line) {
 			e.recordSource(stats.SrcL1)
-			e.candidates = e.candidates[1:]
+			e.candidates.pop()
 			processed++
 			continue
 		}
 		// Already prefetched (resident or in flight): nothing to do.
 		if e.buf.Contains(line) {
 			e.recordSource(stats.SrcPreBuffer)
-			e.candidates = e.candidates[1:]
+			e.candidates.pop()
 			processed++
 			continue
 		}
@@ -135,7 +133,7 @@ func (e *FDPEngine) Tick(now uint64) {
 			break
 		}
 		e.issuePrefetch(line, now)
-		e.candidates = e.candidates[1:]
+		e.candidates.pop()
 		processed++
 	}
 }
@@ -145,7 +143,7 @@ func (e *FDPEngine) Tick(now uint64) {
 // turn out useful, exactly as in the paper's description of FDP).
 func (e *FDPEngine) Flush() {
 	e.cursor.flush()
-	e.candidates = e.candidates[:0]
+	e.candidates.reset()
 }
 
 // BufferLatency implements Engine.

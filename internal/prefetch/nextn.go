@@ -17,7 +17,7 @@ type NextNEngine struct {
 	common
 	cursor     blockCursor
 	buf        *prebuffer.PrefetchBuffer
-	candidates []isa.Addr
+	candidates candRing
 }
 
 // NewNextN creates a next-N-line prefetching engine.
@@ -71,11 +71,9 @@ func (e *NextNEngine) PopFetch() {
 		return
 	}
 	for i := 1; i <= e.cfg.Degree; i++ {
-		line := req.Line + isa.Addr(i*e.cfg.LineBytes)
-		if len(e.candidates) >= maxCandidateQueue {
+		if !e.candidates.push(req.Line + isa.Addr(i*e.cfg.LineBytes)) {
 			break
 		}
-		e.candidates = append(e.candidates, line)
 	}
 }
 
@@ -95,19 +93,19 @@ func (e *NextNEngine) LookupBuffer(line isa.Addr, now uint64) (bool, int) {
 
 // Tick implements Engine.
 func (e *NextNEngine) Tick(now uint64) {
-	e.completeFills(now, e.buf.Fill)
+	e.completeFills(now, e.buf.Fill, e.buf.Invalidate)
 	processed := 0
-	for len(e.candidates) > 0 && processed < e.cfg.MaxPerCycle {
-		line := e.candidates[0]
+	for e.candidates.n > 0 && processed < e.cfg.MaxPerCycle {
+		line := e.candidates.peek()
 		if (e.cfg.HasL0 && e.mem.L0() != nil && e.mem.L0().Probe(line)) || e.mem.L1I().Probe(line) {
 			e.recordSource(stats.SrcL1)
-			e.candidates = e.candidates[1:]
+			e.candidates.pop()
 			processed++
 			continue
 		}
 		if e.buf.Contains(line) {
 			e.recordSource(stats.SrcPreBuffer)
-			e.candidates = e.candidates[1:]
+			e.candidates.pop()
 			processed++
 			continue
 		}
@@ -115,7 +113,7 @@ func (e *NextNEngine) Tick(now uint64) {
 			break
 		}
 		e.issuePrefetch(line, now)
-		e.candidates = e.candidates[1:]
+		e.candidates.pop()
 		processed++
 	}
 }
@@ -123,7 +121,7 @@ func (e *NextNEngine) Tick(now uint64) {
 // Flush implements Engine.
 func (e *NextNEngine) Flush() {
 	e.cursor.flush()
-	e.candidates = e.candidates[:0]
+	e.candidates.reset()
 }
 
 // BufferLatency implements Engine.

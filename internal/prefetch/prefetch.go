@@ -137,6 +137,45 @@ func (c Config) normalise() (Config, error) {
 	return c, nil
 }
 
+// maxCandidateQueue bounds the prefetch instruction queue of the filtering
+// engines (FDP, NextN).
+const maxCandidateQueue = 32
+
+// candRing is a fixed ring buffer of candidate prefetch lines; it replaces
+// the grow-and-shift slices the engines used to keep, so candidate traffic
+// performs no allocations.
+type candRing struct {
+	buf  [maxCandidateQueue]isa.Addr
+	head int
+	n    int
+}
+
+// push appends a line; it reports false when the ring is full (the candidate
+// is dropped, matching the bounded prefetch instruction queue of the paper).
+func (r *candRing) push(line isa.Addr) bool {
+	if r.n >= maxCandidateQueue {
+		return false
+	}
+	r.buf[(r.head+r.n)%maxCandidateQueue] = line
+	r.n++
+	return true
+}
+
+// peek returns the oldest candidate; only valid when n > 0.
+func (r *candRing) peek() isa.Addr { return r.buf[r.head] }
+
+// pop removes the oldest candidate.
+func (r *candRing) pop() {
+	r.head = (r.head + 1) % maxCandidateQueue
+	r.n--
+}
+
+// reset empties the ring.
+func (r *candRing) reset() {
+	r.head = 0
+	r.n = 0
+}
+
 // outstanding tracks a prefetch in flight between the hierarchy and a
 // pre-buffer.
 type outstanding struct {
@@ -172,13 +211,24 @@ func (c *common) issuePrefetch(line isa.Addr, now uint64) {
 }
 
 // completeFills moves finished prefetches into the pre-buffer via fill and
-// records their source. fill is the buffer's Fill method.
-func (c *common) completeFills(now uint64, fill func(isa.Addr)) {
+// records their source, releasing consumed requests back to the hierarchy.
+// Prefetches cancelled by a misprediction flush are handed to cancel (which
+// must free the pending buffer entry so the slot is not leaked); a nil
+// cancel is a no-op for buffers whose pending entries free themselves.
+// fill is the buffer's Fill method.
+func (c *common) completeFills(now uint64, fill, cancel func(isa.Addr)) {
 	kept := c.inflight[:0]
 	for _, o := range c.inflight {
 		if o.req.Ready(now) {
-			fill(o.line)
-			c.recordSource(o.req.Source)
+			if o.req.Cancelled() {
+				if cancel != nil {
+					cancel(o.line)
+				}
+			} else {
+				fill(o.line)
+				c.recordSource(o.req.Source)
+			}
+			c.mem.Release(o.req)
 			continue
 		}
 		kept = append(kept, o)

@@ -429,3 +429,76 @@ func TestEnginesShareQueueOpportunities(t *testing.T) {
 		}
 	}
 }
+
+func TestFDPCancelledPrefetchesFreeBufferEntries(t *testing.T) {
+	h := newHierarchy(t, false)
+	e, err := NewFDP(baseConfig(false), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue a block spanning 4 lines and let the engine allocate all 4
+	// buffer entries and enqueue the prefetches on the bus (no bus ticks, so
+	// none are granted yet).
+	if !e.EnqueueBlock(block(0x40_0000, 64, 0x50_0000, 1)) {
+		t.Fatal("enqueue failed")
+	}
+	e.Tick(0)
+	e.Tick(1)
+	if free := e.Buffer().FreeSlots(); free != 0 {
+		t.Fatalf("expected all 4 entries pending, %d free", free)
+	}
+	// Misprediction: queued bus prefetches are cancelled and the engine is
+	// flushed. The pending buffer entries must become claimable again.
+	if n := h.CancelPrefetches(); n != 4 {
+		t.Fatalf("cancelled %d prefetches, want 4", n)
+	}
+	e.Flush()
+	e.Tick(2) // completeFills observes the cancellations
+	if free := e.Buffer().FreeSlots(); free != 4 {
+		t.Errorf("cancelled prefetches leaked buffer entries: %d free, want 4", free)
+	}
+	// The engine must be able to prefetch again afterwards.
+	if !e.EnqueueBlock(block(0x60_0000, 32, 0x70_0000, 2)) {
+		t.Fatal("enqueue after flush failed")
+	}
+	e.Tick(3)
+	if got := e.Buffer().Allocations(); got < 5 {
+		t.Errorf("no new allocations after cancellation recovery (total %d)", got)
+	}
+}
+
+func TestCLGPCancelledPrefetchesReplaceableAfterFlush(t *testing.T) {
+	h := newHierarchy(t, false)
+	e, err := NewCLGP(baseConfig(false), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.EnqueueBlock(block(0x40_0000, 64, 0x50_0000, 1)) {
+		t.Fatal("enqueue failed")
+	}
+	e.Tick(0)
+	e.Tick(1)
+	if free := e.Buffer().ReplaceableSlots(); free != 0 {
+		t.Fatalf("expected all entries referenced, %d replaceable", free)
+	}
+	h.CancelPrefetches()
+	e.Flush() // resets consumers counters
+	e.Tick(2) // completeFills drops the cancelled fills and their entries
+	if free := e.Buffer().ReplaceableSlots(); free != 4 {
+		t.Errorf("prestage entries not replaceable after flush: %d, want 4", free)
+	}
+	// The cancelled entries must be gone entirely: a stale pending entry
+	// would make the correct path's re-reference report "already staged"
+	// and never re-issue the prefetch.
+	if e.Buffer().Contains(0x40_0000) {
+		t.Errorf("cancelled prestage entry still resident")
+	}
+	issuedBefore := e.issued
+	if !e.EnqueueBlock(block(0x40_0000, 16, 0x50_0000, 2)) {
+		t.Fatal("enqueue after flush failed")
+	}
+	e.Tick(3)
+	if e.issued == issuedBefore {
+		t.Errorf("re-reference of cancelled line did not re-issue a prefetch")
+	}
+}

@@ -1,0 +1,242 @@
+// Package sim is the batch-execution layer of the simulator: it fans a set
+// of (configuration × workload) simulation jobs out over a worker pool sized
+// to the machine, aggregates per-run statistics, and measures the harness's
+// own throughput (simulated cycles per second, simulations per second) the
+// way batch benchmarking harnesses record their driver throughput.
+//
+// Every job is independent — an Engine owns all its mutable state and reads
+// only the shared program image and trace, which are immutable once
+// generated — so the sweep parallelises embarrassingly and the wall-clock
+// win over serial execution tracks the worker count.
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"clgp/internal/cacti"
+	"clgp/internal/core"
+	"clgp/internal/stats"
+	"clgp/internal/workload"
+)
+
+// Job is one simulation to execute: a processor configuration bound to a
+// workload. Workloads may be shared between jobs; the engine treats the
+// program image and trace as read-only.
+type Job struct {
+	// Name labels the job in results; empty uses the configuration name.
+	Name string
+	// Config is the processor configuration.
+	Config core.Config
+	// Workload provides the program image and committed trace.
+	Workload *workload.Workload
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Name is the job label.
+	Name string
+	// Stats are the simulation results (nil when Err is set).
+	Stats *stats.Results
+	// Wall is the wall-clock time the simulation took.
+	Wall time.Duration
+	// Err reports a configuration or simulation failure.
+	Err error
+}
+
+// CyclesPerSec returns the simulation throughput of the run.
+func (r Result) CyclesPerSec() float64 {
+	if r.Stats == nil || r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Stats.Cycles) / r.Wall.Seconds()
+}
+
+// Runner executes batches of jobs.
+type Runner struct {
+	// Workers is the worker-pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// EffectiveWorkers resolves the pool size actually used by Run.
+func (rn Runner) EffectiveWorkers() int {
+	if rn.Workers > 0 {
+		return rn.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes all jobs and returns their results in job order. Jobs are
+// distributed over the worker pool; each worker runs simulations back to
+// back so the pool stays saturated regardless of per-job runtime variance.
+func (rn Runner) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	workers := rn.EffectiveWorkers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			results[i] = runOne(jobs[i])
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job.
+func runOne(j Job) Result {
+	name := j.Name
+	if name == "" {
+		name = j.Config.Name
+	}
+	start := time.Now()
+	if j.Workload == nil {
+		return Result{Name: name, Err: fmt.Errorf("sim %s: no workload", name)}
+	}
+	eng, err := core.NewEngine(j.Config, j.Workload.Dict, j.Workload.Trace)
+	if err != nil {
+		return Result{Name: name, Err: err}
+	}
+	st, err := eng.Run()
+	if err != nil {
+		return Result{Name: name, Err: err}
+	}
+	if name != "" {
+		st.Name = name
+	}
+	return Result{Name: st.Name, Stats: st, Wall: time.Since(start)}
+}
+
+// SweepJobs builds the cross product of engines × L1 sizes for one
+// technology node over a workload — one paper figure's worth of runs.
+func SweepJobs(w *workload.Workload, tech cacti.Tech, sizes []int, engines []core.EngineKind, useL0 bool, maxInsts int) []Job {
+	jobs := make([]Job, 0, len(sizes)*len(engines))
+	for _, eng := range engines {
+		for _, size := range sizes {
+			cfg := core.Config{
+				Tech:     tech,
+				L1ISize:  size,
+				Engine:   eng,
+				UseL0:    useL0 && eng != core.EngineNone,
+				MaxInsts: maxInsts,
+			}
+			cfg.Name = fmt.Sprintf("%s/%s/%s/L1=%s", w.Name, eng, tech, stats.FormatBytes(float64(size)))
+			jobs = append(jobs, Job{Name: cfg.Name, Config: cfg, Workload: w})
+		}
+	}
+	return jobs
+}
+
+// Summary aggregates a batch of results.
+type Summary struct {
+	// Sims is the number of successful simulations.
+	Sims int
+	// Failed is the number of failed simulations.
+	Failed int
+	// TotalCycles and TotalInsts sum over successful runs.
+	TotalCycles uint64
+	TotalInsts  uint64
+	// Wall is the batch wall-clock time (measured by the caller around Run).
+	Wall time.Duration
+}
+
+// Summarise folds results into a Summary with the given wall-clock time.
+func Summarise(results []Result, wall time.Duration) Summary {
+	s := Summary{Wall: wall}
+	for _, r := range results {
+		if r.Err != nil || r.Stats == nil {
+			s.Failed++
+			continue
+		}
+		s.Sims++
+		s.TotalCycles += r.Stats.Cycles
+		s.TotalInsts += r.Stats.Committed
+	}
+	return s
+}
+
+// CyclesPerSec returns aggregate simulated cycles per wall-clock second.
+func (s Summary) CyclesPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.TotalCycles) / s.Wall.Seconds()
+}
+
+// SimsPerSec returns simulations completed per wall-clock second.
+func (s Summary) SimsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Sims) / s.Wall.Seconds()
+}
+
+// BenchRecord is one throughput measurement in the BENCH_*.json format the
+// perf harness emits (one record per configuration of the benchmark).
+type BenchRecord struct {
+	// Name identifies the measured configuration (e.g. "sweep-parallel").
+	Name string `json:"name"`
+	// Workers is the worker-pool size used.
+	Workers int `json:"workers"`
+	// Sims is the number of simulations executed.
+	Sims int `json:"sims"`
+	// TotalCycles and TotalInsts are the aggregate simulated work.
+	TotalCycles uint64 `json:"total_cycles"`
+	TotalInsts  uint64 `json:"total_insts"`
+	// WallSeconds is the batch wall-clock time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// CyclesPerSec and SimsPerSec are the throughput metrics.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	SimsPerSec   float64 `json:"sims_per_sec"`
+	// SpeedupVsSerial is the wall-clock speedup over the serial record of
+	// the same batch (0 when not applicable).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// RecordFromSummary converts a Summary to a BenchRecord.
+func RecordFromSummary(name string, workers int, s Summary) BenchRecord {
+	return BenchRecord{
+		Name:         name,
+		Workers:      workers,
+		Sims:         s.Sims,
+		TotalCycles:  s.TotalCycles,
+		TotalInsts:   s.TotalInsts,
+		WallSeconds:  s.Wall.Seconds(),
+		CyclesPerSec: s.CyclesPerSec(),
+		SimsPerSec:   s.SimsPerSec(),
+	}
+}
+
+// WriteBenchJSON writes records as an indented JSON array to path.
+func WriteBenchJSON(path string, recs []BenchRecord) error {
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sim: encoding bench records: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("sim: writing %s: %w", path, err)
+	}
+	return nil
+}

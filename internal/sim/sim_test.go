@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"clgp/internal/cacti"
+	"clgp/internal/core"
+	"clgp/internal/workload"
+)
+
+func benchWorkload(t testing.TB, insts int, seed int64) *workload.Workload {
+	t.Helper()
+	p, err := workload.ProfileByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.Generate(p, insts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func grid16(w *workload.Workload) []Job {
+	return SweepJobs(w, cacti.Tech90,
+		[]int{1 << 10, 2 << 10, 4 << 10, 8 << 10},
+		[]core.EngineKind{core.EngineNone, core.EngineNextN, core.EngineFDP, core.EngineCLGP},
+		false, 0)
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	w := benchWorkload(t, 12_000, 11)
+	jobs := grid16(w)
+	if len(jobs) != 16 {
+		t.Fatalf("grid has %d jobs, want 16", len(jobs))
+	}
+	serial := Runner{Workers: 1}.Run(jobs)
+	parallel := Runner{Workers: 4}.Run(jobs)
+	for i := range jobs {
+		s, p := serial[i], parallel[i]
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("job %s failed: serial=%v parallel=%v", jobs[i].Name, s.Err, p.Err)
+		}
+		if s.Stats.Cycles != p.Stats.Cycles || s.Stats.Committed != p.Stats.Committed ||
+			s.Stats.Mispredictions != p.Stats.Mispredictions {
+			t.Errorf("job %s diverged between serial and parallel execution:\nserial   %+v\nparallel %+v",
+				jobs[i].Name, s.Stats, p.Stats)
+		}
+	}
+}
+
+func TestSummariseAndBenchJSON(t *testing.T) {
+	w := benchWorkload(t, 8_000, 12)
+	jobs := grid16(w)[:4]
+	start := time.Now()
+	results := Runner{Workers: 2}.Run(jobs)
+	sum := Summarise(results, time.Since(start))
+	if sum.Sims != 4 || sum.Failed != 0 {
+		t.Fatalf("summary %+v, want 4 successful sims", sum)
+	}
+	if sum.TotalCycles == 0 || sum.CyclesPerSec() <= 0 {
+		t.Errorf("degenerate throughput: %+v", sum)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	rec := RecordFromSummary("sweep", 2, sum)
+	if err := WriteBenchJSON(path, []BenchRecord{rec}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []BenchRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(back) != 1 || back[0].Sims != 4 || back[0].TotalCycles != sum.TotalCycles {
+		t.Errorf("round-tripped record %+v does not match %+v", back, rec)
+	}
+}
+
+// TestSweepParallelSpeedup demonstrates the wall-clock win of the parallel
+// driver on a 16-config grid. It needs real hardware parallelism, so it is
+// skipped on small machines (the acceptance criterion is conditioned on
+// GOMAXPROCS >= 4) and in -short mode.
+func TestSweepParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping speedup measurement in -short mode")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need GOMAXPROCS >= 4 for the speedup bound, have %d", runtime.GOMAXPROCS(0))
+	}
+	w := benchWorkload(t, 60_000, 13)
+	jobs := grid16(w)
+
+	start := time.Now()
+	serialRes := Runner{Workers: 1}.Run(jobs)
+	serialWall := time.Since(start)
+
+	start = time.Now()
+	parRes := Runner{}.Run(jobs)
+	parWall := time.Since(start)
+
+	for i := range jobs {
+		if serialRes[i].Err != nil || parRes[i].Err != nil {
+			t.Fatalf("job %s failed", jobs[i].Name)
+		}
+	}
+	speedup := serialWall.Seconds() / parWall.Seconds()
+	t.Logf("serial %v, parallel %v (%d workers): speedup %.2fx",
+		serialWall, parWall, Runner{}.EffectiveWorkers(), speedup)
+	// The grid is embarrassingly parallel; on >= 4 cores, 3x is comfortably
+	// reachable. Use a slightly softer bound to stay robust against noisy
+	// shared CI machines.
+	if speedup < 2.5 {
+		t.Errorf("parallel sweep speedup %.2fx below expected bound", speedup)
+	}
+}
