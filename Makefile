@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke run sweep clean
+.PHONY: all build test test-race vet bench bench-smoke run sweep figures clean
 
 all: vet build test
 
@@ -9,6 +9,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +32,12 @@ run:
 sweep:
 	$(GO) run ./cmd/clgpsim sweep -profile gcc -insts 100000
 
+# Full paper-figure grid (12 profiles, sharded + checkpointed into
+# clgp-figures/; re-run with the same target to resume after interruption).
+figures:
+	$(GO) run ./cmd/clgpsim figures -insts 200000 -dir clgp-figures -resume
+
 clean:
 	$(GO) clean ./...
 	rm -f BENCH_*.json
+	rm -rf clgp-figures

@@ -1,0 +1,363 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"clgp/internal/cacti"
+	"clgp/internal/core"
+	"clgp/internal/dispatch"
+	"clgp/internal/sim"
+	"clgp/internal/stats"
+	"clgp/internal/workload"
+)
+
+// cmdWorker executes one shard of a sweep directory and exits. It is
+// normally spawned by `clgpsim figures` (or any dispatch.Orchestrator in
+// child mode), but can be run by hand — or on another host against a shared
+// directory — since the shard protocol is just the manifest plus one JSONL
+// result file committed by rename.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	dir := fs.String("dir", "", "sweep directory (manifest.json + shards/)")
+	shard := fs.Int("shard", -1, "shard id to execute")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" || *shard < 0 {
+		return fmt.Errorf("worker needs -dir and -shard")
+	}
+	m, err := dispatch.LoadManifest(*dir)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	recs, err := dispatch.RunShard(m, *shard, *workers)
+	if err != nil {
+		return err
+	}
+	if err := dispatch.WriteShardResults(*dir, m.Shards[*shard], recs); err != nil {
+		return err
+	}
+	failed := 0
+	for _, rec := range recs {
+		if rec.Err != "" {
+			failed++
+		}
+	}
+	fmt.Printf("worker: %s: %d jobs (%d failed) in %v\n",
+		m.Shards[*shard].Name, len(recs), failed, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// cmdFigures runs (or resumes) the paper's full evaluation grid through the
+// dispatch orchestrator and emits the Figure 1/6/7/8 series sets as JSON
+// and CSV files.
+func cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	insts := fs.Int("insts", 200_000, "trace length in instructions per workload")
+	seed := fs.Int64("seed", 1, "workload generation seed")
+	techsFlag := fs.String("techs", "90", "comma-separated technology nodes (e.g. 90,45)")
+	profilesFlag := fs.String("profiles", "", "comma-separated profiles (empty = all 12)")
+	dir := fs.String("dir", "clgp-figures", "sweep checkpoint directory")
+	out := fs.String("out", "", "figure output directory (empty = the sweep directory)")
+	shards := fs.Int("shards", 0, "shard count (0 = one per workload)")
+	workers := fs.Int("workers", 0, "sim worker pool size per shard (0 = GOMAXPROCS)")
+	parallel := fs.Int("parallel", 0, "concurrent worker processes in -exec mode (0 = GOMAXPROCS)")
+	execMode := fs.Bool("exec", false, "run shards as child worker processes instead of in-process")
+	resume := fs.Bool("resume", false, "resume an interrupted sweep, skipping completed shards")
+	figL1 := fs.Int("fig-l1", 2<<10, "L1 size used by the per-benchmark figures (6/7/8)")
+	benchJSON := fs.String("json", "", "also write a BENCH-format throughput record to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Reject an off-grid figure size before the sweep runs, not after.
+	figOnGrid := false
+	for _, size := range cacti.L1Sizes() {
+		if size == *figL1 {
+			figOnGrid = true
+			break
+		}
+	}
+	if !figOnGrid {
+		return fmt.Errorf("-fig-l1 %d is not in the swept L1 sizes %v", *figL1, cacti.L1Sizes())
+	}
+
+	var techs []cacti.Tech
+	for _, s := range strings.Split(*techsFlag, ",") {
+		t, err := cacti.ParseTech(strings.TrimSpace(s))
+		if err != nil {
+			return err
+		}
+		techs = append(techs, t)
+	}
+	var profiles []string
+	if *profilesFlag != "" {
+		for _, p := range strings.Split(*profilesFlag, ",") {
+			profiles = append(profiles, strings.TrimSpace(p))
+		}
+	}
+
+	specs, err := dispatch.GridSpecs(dispatch.GridConfig{
+		Profiles: profiles, Insts: *insts, Seed: *seed,
+		Techs:        techs,
+		L0Variants:   true,
+		IncludeIdeal: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	mode := dispatch.ModeInProcess
+	if *execMode {
+		mode = dispatch.ModeChild
+	}
+	o := &dispatch.Orchestrator{
+		Dir: *dir, Workers: *workers, Parallel: *parallel, Mode: mode, Log: os.Stdout,
+	}
+	outcome, err := o.Run(specs, *shards, *resume)
+	if err != nil {
+		return err
+	}
+	sum := outcome.Summary()
+	// Throughput is only meaningful over the shards this invocation ran;
+	// checkpointed results cost no wall-clock time here.
+	ranSum := outcome.RanSummary()
+	rate := ""
+	if ranSum.Sims > 0 {
+		rate = fmt.Sprintf(": %.0f cycles/sec", ranSum.CyclesPerSec())
+	}
+	fmt.Printf("%d sims (%d/%d shards from checkpoint, %d failed) in %v%s\n",
+		sum.Sims, len(outcome.Skipped), len(outcome.Manifest.Shards), sum.Failed,
+		outcome.Wall.Round(time.Millisecond), rate)
+	for _, rec := range outcome.Records {
+		if rec.Err != "" {
+			return fmt.Errorf("job %s failed: %s", rec.Job, rec.Err)
+		}
+	}
+
+	outDir := *out
+	if outDir == "" {
+		outDir = *dir
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	files, err := emitFigures(outDir, outcome.Records, techs, *figL1)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		fmt.Printf("wrote %s.{json,csv}\n", f)
+	}
+
+	if *benchJSON != "" {
+		if ranSum.Sims == 0 {
+			fmt.Printf("skipping %s: all shards came from the checkpoint, no throughput to record\n", *benchJSON)
+		} else {
+			rec := sim.RecordFromSummary("figures-grid", o.Workers, ranSum)
+			if err := sim.WriteBenchJSON(*benchJSON, []sim.BenchRecord{rec}); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchJSON)
+		}
+	}
+	return nil
+}
+
+// recKey indexes merged records by the grid dimensions the figures group on.
+type recKey struct {
+	profile, tech, engine string
+	l0, ideal             bool
+	size                  int
+}
+
+func indexRecords(recs []dispatch.RunRecord) map[recKey]*stats.Results {
+	byKey := make(map[recKey]*stats.Results, len(recs))
+	for _, rec := range recs {
+		s := rec.Spec
+		byKey[recKey{s.Profile, s.Tech, s.Engine, s.UseL0, s.Ideal, s.L1Size}] = rec.Stats
+	}
+	return byKey
+}
+
+// techTag renders a node as a filename-friendly tag ("90nm").
+func techTag(t cacti.Tech) string {
+	e, err := cacti.RoadmapFor(t)
+	if err != nil {
+		return strings.ReplaceAll(t.String(), ".", "")
+	}
+	return fmt.Sprintf("%dnm", e.FeatureNM)
+}
+
+// engineVariants are the per-benchmark figure columns, in legend order.
+var engineVariants = []struct {
+	label  string
+	engine core.EngineKind
+	l0     bool
+}{
+	{"none", core.EngineNone, false},
+	{"nextn", core.EngineNextN, false},
+	{"nextn+l0", core.EngineNextN, true},
+	{"fdp", core.EngineFDP, false},
+	{"fdp+l0", core.EngineFDP, true},
+	{"clgp", core.EngineCLGP, false},
+	{"clgp+l0", core.EngineCLGP, true},
+}
+
+// emitFigures assembles the paper's figure series from the merged records
+// and writes one JSON + CSV pair per figure and node. It returns the file
+// bases written.
+func emitFigures(outDir string, recs []dispatch.RunRecord, techs []cacti.Tech, figL1 int) ([]string, error) {
+	byKey := indexRecords(recs)
+	profiles := profilesIn(recs)
+	sizes := sizesIn(recs)
+	onGrid := false
+	for _, size := range sizes {
+		if size == figL1 {
+			onGrid = true
+			break
+		}
+	}
+	if !onGrid {
+		return nil, fmt.Errorf("-fig-l1 %d is not in the swept L1 sizes %v; figures 6/7/8 would be empty", figL1, sizes)
+	}
+	var written []string
+	write := func(name string, ss *stats.SeriesSet) error {
+		base := filepath.Join(outDir, name)
+		if err := ss.WriteFiles(base); err != nil {
+			return err
+		}
+		written = append(written, base)
+		return nil
+	}
+
+	for _, tech := range techs {
+		techStr := tech.String()
+		tag := techTag(tech)
+
+		// Figure 1: the motivating latency/capacity trade-off — harmonic-mean
+		// IPC of the no-prefetch baseline vs an ideal one-cycle I-cache,
+		// over the L1 sweep.
+		fig1 := &stats.SeriesSet{
+			Title:  fmt.Sprintf("Figure 1 — IPC vs L1I size, baseline vs ideal (%s)", techStr),
+			XLabel: "L1I", YLabel: "HMEAN IPC",
+		}
+		for _, size := range sizes {
+			var base, ideal []float64
+			for _, prof := range profiles {
+				if r := byKey[recKey{prof, techStr, "none", false, false, size}]; r != nil {
+					base = append(base, r.IPC())
+				}
+				if r := byKey[recKey{prof, techStr, "none", false, true, size}]; r != nil {
+					ideal = append(ideal, r.IPC())
+				}
+			}
+			if len(base) == len(profiles) {
+				fig1.Ensure("baseline").Add(float64(size), stats.HarmonicMean(base))
+			}
+			if len(ideal) == len(profiles) {
+				fig1.Ensure("ideal").Add(float64(size), stats.HarmonicMean(ideal))
+			}
+		}
+		if err := write("figure1_ipc_vs_l1_"+tag, fig1); err != nil {
+			return nil, err
+		}
+
+		// Figure 6: per-benchmark IPC of every engine variant at the
+		// representative L1 size, with the HMEAN bar the paper appends.
+		fig6 := &stats.SeriesSet{
+			Title: fmt.Sprintf("Figure 6 — per-benchmark IPC @ L1=%s (%s)",
+				stats.FormatBytes(float64(figL1)), techStr),
+			XLabel: "benchmark", YLabel: "IPC",
+			Labels: append(append([]string{}, profiles...), "HMEAN"),
+		}
+		for _, v := range engineVariants {
+			var ipcs []float64
+			for pi, prof := range profiles {
+				r := byKey[recKey{prof, techStr, v.engine.String(), v.l0, false, figL1}]
+				if r == nil {
+					continue
+				}
+				fig6.Ensure(v.label).Add(float64(pi), r.IPC())
+				ipcs = append(ipcs, r.IPC())
+			}
+			if len(ipcs) == len(profiles) {
+				fig6.Ensure(v.label).Add(float64(len(profiles)), stats.HarmonicMean(ipcs))
+			}
+		}
+		if err := write("figure6_ipc_"+tag, fig6); err != nil {
+			return nil, err
+		}
+
+		// Figures 7 and 8: where fetches and prefetches are served from, for
+		// the full CLGP configuration (prestage buffer + L0), per benchmark.
+		fig7 := &stats.SeriesSet{
+			Title: fmt.Sprintf("Figure 7 — fetch sources, clgp+l0 @ L1=%s (%s)",
+				stats.FormatBytes(float64(figL1)), techStr),
+			XLabel: "benchmark", YLabel: "fraction of fetches",
+			Labels: append([]string{}, profiles...),
+		}
+		fig8 := &stats.SeriesSet{
+			Title: fmt.Sprintf("Figure 8 — prefetch sources, clgp+l0 @ L1=%s (%s)",
+				stats.FormatBytes(float64(figL1)), techStr),
+			XLabel: "benchmark", YLabel: "fraction of prefetches",
+			Labels: append([]string{}, profiles...),
+		}
+		for pi, prof := range profiles {
+			r := byKey[recKey{prof, techStr, "clgp", true, false, figL1}]
+			if r == nil {
+				continue
+			}
+			fetch := r.FetchSources.Fractions()
+			pref := r.PrefetchSources.Fractions()
+			for src := stats.Source(0); src < stats.NumSources; src++ {
+				fig7.Ensure(src.String()).Add(float64(pi), fetch[src])
+				fig8.Ensure(src.String()).Add(float64(pi), pref[src])
+			}
+		}
+		if err := write("figure7_fetch_sources_"+tag, fig7); err != nil {
+			return nil, err
+		}
+		if err := write("figure8_prefetch_sources_"+tag, fig8); err != nil {
+			return nil, err
+		}
+	}
+	return written, nil
+}
+
+// profilesIn returns the distinct profiles of the records, in paper order.
+func profilesIn(recs []dispatch.RunRecord) []string {
+	present := make(map[string]bool)
+	for _, rec := range recs {
+		present[rec.Spec.Profile] = true
+	}
+	var out []string
+	for _, name := range workload.ProfileNames() {
+		if present[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// sizesIn returns the distinct L1 sizes of the records, ascending.
+func sizesIn(recs []dispatch.RunRecord) []int {
+	present := make(map[int]bool)
+	for _, rec := range recs {
+		present[rec.Spec.L1Size] = true
+	}
+	var out []int
+	for _, size := range cacti.L1Sizes() {
+		if present[size] {
+			out = append(out, size)
+		}
+	}
+	return out
+}

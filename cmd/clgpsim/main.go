@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	clgpsim run   [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0]
-//	clgpsim sweep [-profile gcc] [-insts 200000] [-tech 90] [-workers 0] [-json BENCH_sweep.json]
-//	clgpsim bench [-profile gcc] [-insts 100000] [-workers 0] [-json BENCH_clgpsim.json]
+//	clgpsim run     [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0]
+//	clgpsim sweep   [-profile gcc] [-insts 200000] [-tech 90] [-workers 0] [-json BENCH_sweep.json]
+//	clgpsim bench   [-profile gcc] [-insts 100000] [-workers 0] [-json BENCH_clgpsim.json]
+//	clgpsim figures [-insts 200000] [-techs 90,45] [-profiles ...] [-dir clgp-figures] [-shards 0] [-exec] [-resume]
+//	clgpsim worker  -dir DIR -shard N [-workers 0]
 package main
 
 import (
@@ -14,7 +16,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	"clgp/internal/cacti"
@@ -37,6 +38,10 @@ func main() {
 		err = cmdSweep(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "figures":
+		err = cmdFigures(os.Args[2:])
+	case "worker":
+		err = cmdWorker(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -54,42 +59,12 @@ func usage() {
 	fmt.Fprint(os.Stderr, `clgpsim — Cache Line Guided Prestaging simulator
 
 commands:
-  run    simulate one configuration and print its statistics
-  sweep  run an (engine x L1 size) grid in parallel and print the IPC table
-  bench  measure simulator throughput (serial vs parallel) and emit BENCH json
+  run      simulate one configuration and print its statistics
+  sweep    run an (engine x L1 size) grid in parallel and print the IPC table
+  bench    measure simulator throughput (serial vs parallel) and emit BENCH json
+  figures  run/resume the sharded full-paper grid and emit Figure 1/6/7/8 series
+  worker   execute one shard of a sweep directory (spawned by figures -exec)
 `)
-}
-
-// parseTech maps "90"/"45" (or the full node names) to a technology node.
-func parseTech(s string) (cacti.Tech, error) {
-	switch s {
-	case "90", "0.09", "0.09um":
-		return cacti.Tech90, nil
-	case "45", "0.045", "0.045um":
-		return cacti.Tech45, nil
-	case "180", "0.18um":
-		return cacti.Tech180, nil
-	case "130", "0.13um":
-		return cacti.Tech130, nil
-	case "65", "0.065um":
-		return cacti.Tech65, nil
-	}
-	return 0, fmt.Errorf("unknown technology node %q (use 90 or 45)", s)
-}
-
-// parseEngine maps an engine name to its kind.
-func parseEngine(s string) (core.EngineKind, error) {
-	switch strings.ToLower(s) {
-	case "none":
-		return core.EngineNone, nil
-	case "nextn":
-		return core.EngineNextN, nil
-	case "fdp":
-		return core.EngineFDP, nil
-	case "clgp":
-		return core.EngineCLGP, nil
-	}
-	return 0, fmt.Errorf("unknown engine %q (none|nextn|fdp|clgp)", s)
 }
 
 // loadWorkload generates the named synthetic benchmark.
@@ -116,11 +91,11 @@ func cmdRun(args []string) error {
 		return err
 	}
 
-	tn, err := parseTech(*tech)
+	tn, err := cacti.ParseTech(*tech)
 	if err != nil {
 		return err
 	}
-	ek, err := parseEngine(*engine)
+	ek, err := core.ParseEngineKind(*engine)
 	if err != nil {
 		return err
 	}
@@ -161,7 +136,7 @@ func cmdSweep(args []string) error {
 		return err
 	}
 
-	tn, err := parseTech(*tech)
+	tn, err := cacti.ParseTech(*tech)
 	if err != nil {
 		return err
 	}

@@ -62,6 +62,26 @@ func (t Tech) String() string {
 // Valid reports whether t is one of the defined nodes.
 func (t Tech) Valid() bool { return t >= Tech180 && t < numTechs }
 
+// ParseTech maps a node name to a Tech. It accepts the conventional names
+// ("0.09um"), the feature size in nanometres ("90"), and the micron form
+// without suffix ("0.09"), so it round-trips Tech.String and the short CLI
+// spellings.
+func ParseTech(s string) (Tech, error) {
+	switch s {
+	case "180", "0.18", "0.18um":
+		return Tech180, nil
+	case "130", "0.13", "0.13um":
+		return Tech130, nil
+	case "90", "0.09", "0.09um":
+		return Tech90, nil
+	case "65", "0.065", "0.065um":
+		return Tech65, nil
+	case "45", "0.045", "0.045um":
+		return Tech45, nil
+	}
+	return 0, fmt.Errorf("cacti: unknown technology node %q (known: 180, 130, 90, 65, 45)", s)
+}
+
 // RoadmapEntry is one column of Table 1 of the paper: the SIA prediction for
 // a processor generation.
 type RoadmapEntry struct {

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"clgp/internal/bpred"
 	"clgp/internal/cacti"
@@ -44,6 +45,22 @@ func (k EngineKind) String() string {
 	default:
 		return fmt.Sprintf("engine(%d)", int(k))
 	}
+}
+
+// ParseEngineKind maps an engine name (as produced by EngineKind.String,
+// case-insensitively) to its kind.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return EngineNone, nil
+	case "nextn":
+		return EngineNextN, nil
+	case "fdp":
+		return EngineFDP, nil
+	case "clgp":
+		return EngineCLGP, nil
+	}
+	return 0, fmt.Errorf("core: unknown engine %q (none|nextn|fdp|clgp)", s)
 }
 
 // Config describes one simulated processor configuration (one curve point of

@@ -1,0 +1,326 @@
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"clgp/internal/sim"
+)
+
+// Mode selects how shards are executed.
+type Mode int
+
+const (
+	// ModeInProcess runs shards inside the calling process, one after the
+	// other, parallelising within each shard via the sim worker pool.
+	ModeInProcess Mode = iota
+	// ModeChild re-execs a worker process per shard (clgpsim worker) and
+	// runs up to Parallel of them concurrently. Workers communicate with
+	// the orchestrator only through the sweep directory, which is the same
+	// protocol a multi-host dispatcher would use.
+	ModeChild
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeInProcess:
+		return "in-process"
+	case ModeChild:
+		return "child-process"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// DefaultWorkerArgv builds the child argv used by ModeChild when no
+// WorkerArgv override is set: the current executable re-exec'd as
+// `worker -dir DIR -shard N -workers W`, which is the clgpsim worker
+// subcommand contract.
+func DefaultWorkerArgv(dir string, shard, workers int) []string {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	return []string{exe, "worker",
+		"-dir", dir,
+		"-shard", strconv.Itoa(shard),
+		"-workers", strconv.Itoa(workers),
+	}
+}
+
+// Orchestrator drives a sharded, checkpointed sweep over a directory.
+type Orchestrator struct {
+	// Dir is the sweep checkpoint directory (manifest + shard results).
+	Dir string
+	// Workers is the sim worker-pool size used inside each shard
+	// (<= 0 selects GOMAXPROCS; in ModeChild it is forwarded to workers).
+	Workers int
+	// Parallel is the number of concurrently running child processes in
+	// ModeChild (<= 0 selects GOMAXPROCS; ignored in ModeInProcess).
+	Parallel int
+	// Mode selects in-process or child-process execution.
+	Mode Mode
+	// WorkerArgv overrides the child argv built for a shard (tests use it
+	// to re-exec the test binary); nil selects DefaultWorkerArgv.
+	WorkerArgv func(dir string, shard, workers int) []string
+	// Log receives progress lines; nil is silent.
+	Log io.Writer
+}
+
+// Outcome reports one orchestrator run.
+type Outcome struct {
+	// Manifest is the plan the sweep ran under.
+	Manifest *Manifest
+	// Ran and Skipped are the shard IDs executed and resumed-over.
+	Ran, Skipped []int
+	// Records are the merged results of all shards, in grid order.
+	Records []RunRecord
+	// Wall is the wall-clock time of this invocation (excluding skipped
+	// shards' original runtime).
+	Wall time.Duration
+}
+
+// Results converts the merged records into sim results, in grid order.
+func (o *Outcome) Results() []sim.Result {
+	results := make([]sim.Result, len(o.Records))
+	for i, rec := range o.Records {
+		results[i] = rec.Result()
+	}
+	return results
+}
+
+// Summary folds the merged records into the sim batch summary, using this
+// invocation's wall-clock time. On a resumed sweep the counts cover the
+// whole grid but checkpointed shards cost no wall time here, so derived
+// rates are NOT throughput measurements — use RanSummary for those.
+func (o *Outcome) Summary() sim.Summary {
+	return sim.Summarise(o.Results(), o.Wall)
+}
+
+// RanSummary folds only the shards executed by this invocation into a
+// summary: the honest throughput measurement for a resumed sweep. Sims is
+// zero when everything came from the checkpoint.
+func (o *Outcome) RanSummary() sim.Summary {
+	ran := make(map[int]bool, len(o.Ran))
+	for _, id := range o.Ran {
+		ran[id] = true
+	}
+	var results []sim.Result
+	idx := 0
+	for _, sp := range o.Manifest.Shards {
+		for range sp.Specs {
+			if ran[sp.ID] && idx < len(o.Records) {
+				results = append(results, o.Records[idx].Result())
+			}
+			idx++
+		}
+	}
+	return sim.Summarise(results, o.Wall)
+}
+
+func (o *Orchestrator) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Run executes (or resumes) a sweep of the grid split into nShards shards.
+//
+// With resume set and a manifest already present in Dir, the stored shard
+// plan is reused — after verifying that its grid hash matches specs, so a
+// checkpoint directory cannot silently be completed against a different
+// grid — and shards whose result file exists are skipped. Without resume,
+// any previous checkpoint in Dir is cleared first.
+func (o *Orchestrator) Run(specs []JobSpec, nShards int, resume bool) (*Outcome, error) {
+	if o.Dir == "" {
+		return nil, fmt.Errorf("dispatch: orchestrator needs a sweep directory")
+	}
+	start := time.Now()
+
+	m, err := o.prepare(specs, nShards, resume)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{Manifest: m}
+	var pending []int
+	for _, sp := range m.Shards {
+		if ShardComplete(o.Dir, sp) {
+			out.Skipped = append(out.Skipped, sp.ID)
+		} else {
+			pending = append(pending, sp.ID)
+		}
+	}
+	o.logf("sweep %s: %d jobs in %d shards (%d complete, %d to run, %s)",
+		m.GridHash, m.NumJobs(), len(m.Shards), len(out.Skipped), len(pending), o.Mode)
+
+	switch o.Mode {
+	case ModeInProcess:
+		err = o.runInProcess(m, pending)
+	case ModeChild:
+		err = o.runChildren(m, pending)
+	default:
+		err = fmt.Errorf("dispatch: unknown mode %v", o.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Ran = pending
+
+	out.Records, err = Merge(o.Dir, m)
+	if err != nil {
+		return nil, err
+	}
+	out.Wall = time.Since(start)
+	return out, nil
+}
+
+// prepare resolves the manifest for this run: loading and validating the
+// stored one on resume, planning and persisting a fresh one otherwise. A
+// fresh start clears any leftover shard results in the directory.
+func (o *Orchestrator) prepare(specs []JobSpec, nShards int, resume bool) (*Manifest, error) {
+	if resume {
+		m, err := LoadManifest(o.Dir)
+		switch {
+		case err == nil:
+			if got, want := m.GridHash, GridHash(specs); got != want {
+				return nil, fmt.Errorf("dispatch: %s holds a checkpoint of a different grid (hash %s, this grid %s); use a fresh directory or drop -resume",
+					o.Dir, got, want)
+			}
+			return m, nil
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoint yet: resume degrades to a fresh start.
+		default:
+			// A manifest that exists but does not load is a real problem.
+			return nil, err
+		}
+	}
+	m, err := NewManifest(specs, nShards)
+	if err != nil {
+		return nil, err
+	}
+	// Clear leftovers BEFORE committing the manifest: if the order were
+	// reversed, a crash between the two steps would leave a new-grid
+	// manifest next to old-grid shard files, and a later resume would
+	// merge the stale results as if they belonged to this grid.
+	if err := ClearShards(o.Dir); err != nil {
+		return nil, err
+	}
+	if err := WriteManifest(o.Dir, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// runInProcess executes the pending shards in the calling process.
+func (o *Orchestrator) runInProcess(m *Manifest, pending []int) error {
+	for _, id := range pending {
+		sp := m.Shards[id]
+		start := time.Now()
+		recs, err := RunShard(m, id, o.Workers)
+		if err != nil {
+			return err
+		}
+		if err := WriteShardResults(o.Dir, sp, recs); err != nil {
+			return err
+		}
+		o.logf("  %s: %d jobs in %v", sp.Name, len(recs), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// runChildren executes the pending shards as child worker processes, at
+// most Parallel at a time.
+func (o *Orchestrator) runChildren(m *Manifest, pending []int) error {
+	argvFor := o.WorkerArgv
+	if argvFor == nil {
+		argvFor = DefaultWorkerArgv
+	}
+	parallel := o.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(pending) {
+		parallel = len(pending)
+	}
+	// Divide the CPU budget between the children: forwarding Workers=0
+	// verbatim would make each child size its own pool to the whole
+	// machine, oversubscribing it `parallel`-fold.
+	workers := o.Workers
+	if workers <= 0 && parallel > 0 {
+		workers = runtime.GOMAXPROCS(0) / parallel
+		if workers < 1 {
+			workers = 1
+		}
+	}
+
+	sem := make(chan struct{}, parallel)
+	errs := make([]error, len(pending))
+	var wg sync.WaitGroup
+	for i, id := range pending {
+		wg.Add(1)
+		go func(i, id int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sp := m.Shards[id]
+			argv := argvFor(o.Dir, id, workers)
+			start := time.Now()
+			cmd := exec.Command(argv[0], argv[1:]...)
+			outBytes, err := cmd.CombinedOutput()
+			if err != nil {
+				errs[i] = fmt.Errorf("dispatch: worker for %s failed: %w\n%s", sp.Name, err, outBytes)
+				return
+			}
+			if !ShardComplete(o.Dir, sp) {
+				errs[i] = fmt.Errorf("dispatch: worker for %s exited 0 without writing its result file", sp.Name)
+				return
+			}
+			o.logf("  %s: worker done in %v", sp.Name, time.Since(start).Round(time.Millisecond))
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge loads every shard's results and returns them in grid order. All
+// shards must be complete; each file is validated against the plan.
+func Merge(dir string, m *Manifest) ([]RunRecord, error) {
+	recs := make([]RunRecord, 0, m.NumJobs())
+	for _, sp := range m.Shards {
+		shardRecs, err := LoadShardResults(dir, sp)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, shardRecs...)
+	}
+	return recs, nil
+}
+
+// MergeDir loads a sweep directory without re-running anything: manifest
+// plus all shard results (which must all be complete). It is the read side
+// of the directory protocol, usable by analysis tools on a finished sweep.
+func MergeDir(dir string) (*Manifest, []RunRecord, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, err := Merge(dir, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, recs, nil
+}

@@ -1,0 +1,231 @@
+package dispatch
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"clgp/internal/sim"
+	"clgp/internal/stats"
+	"clgp/internal/workload"
+)
+
+// RunRecord is one job result in the on-disk shard format: one JSON object
+// per line of the shard's JSONL file. It carries the spec alongside the
+// stats so merged results can be regrouped (by profile, engine, size, ...)
+// without re-reading the manifest.
+type RunRecord struct {
+	// Job is the job label (JobSpec.Name of Spec).
+	Job string `json:"job"`
+	// Spec is the job that was run.
+	Spec JobSpec `json:"spec"`
+	// WallSeconds is the wall-clock time of the simulation.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Err is the failure message; empty on success.
+	Err string `json:"error,omitempty"`
+	// Stats are the simulation results (nil when Err is set).
+	Stats *stats.Results `json:"stats,omitempty"`
+}
+
+// Result converts the record back into the in-memory sim result type.
+func (r RunRecord) Result() sim.Result {
+	res := sim.Result{
+		Name:  r.Job,
+		Stats: r.Stats,
+		Wall:  time.Duration(r.WallSeconds * float64(time.Second)),
+	}
+	if r.Err != "" {
+		res.Err = errors.New(r.Err)
+	}
+	return res
+}
+
+// recordFromResult converts a sim result into its serialisable form.
+func recordFromResult(spec JobSpec, res sim.Result) RunRecord {
+	rec := RunRecord{
+		Job:         res.Name,
+		Spec:        spec,
+		WallSeconds: res.Wall.Seconds(),
+		Stats:       res.Stats,
+	}
+	if res.Err != nil {
+		rec.Err = res.Err.Error()
+		rec.Stats = nil
+	}
+	return rec
+}
+
+// workloadCache generates each distinct workload once per shard run.
+type workloadCache map[string]*workload.Workload
+
+func (wc workloadCache) get(spec JobSpec) (*workload.Workload, error) {
+	key := spec.WorkloadKey()
+	if w, ok := wc[key]; ok {
+		return w, nil
+	}
+	p, err := workload.ProfileByName(spec.Profile)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.Generate(p, spec.Insts, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wc[key] = w
+	return w, nil
+}
+
+// RunShard executes shard id of the manifest with the given sim worker-pool
+// size and returns one record per job, in shard order. Individual job
+// failures are reported inside their records; only infrastructure failures
+// (unknown shard, workload generation) return an error.
+func RunShard(m *Manifest, id, workers int) ([]RunRecord, error) {
+	if id < 0 || id >= len(m.Shards) {
+		return nil, fmt.Errorf("dispatch: shard %d out of range (manifest has %d)", id, len(m.Shards))
+	}
+	sp := m.Shards[id]
+	cache := make(workloadCache)
+	jobs := make([]sim.Job, len(sp.Specs))
+	for i, spec := range sp.Specs {
+		w, err := cache.get(spec)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: shard %s: %w", sp.Name, err)
+		}
+		jobs[i], err = spec.SimJob(w)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: shard %s: %w", sp.Name, err)
+		}
+	}
+	results := sim.Runner{Workers: workers}.Run(jobs)
+	recs := make([]RunRecord, len(results))
+	for i, res := range results {
+		recs[i] = recordFromResult(sp.Specs[i], res)
+	}
+	return recs, nil
+}
+
+// shardFilePath returns the final result file of a shard.
+func shardFilePath(dir string, sp ShardPlan) string {
+	return filepath.Join(dir, ShardsDir, sp.Name+".jsonl")
+}
+
+// WriteShardResults persists a shard's records as JSONL. The file is
+// written under a temporary name and renamed into place, so a result file
+// either exists complete or not at all — the rename is the shard's
+// completion marker, and a worker killed mid-write leaves no partial state
+// that a resumed sweep could mistake for a finished shard.
+func WriteShardResults(dir string, sp ShardPlan, recs []RunRecord) error {
+	if len(recs) != len(sp.Specs) {
+		return fmt.Errorf("dispatch: shard %s: %d records for %d jobs", sp.Name, len(recs), len(sp.Specs))
+	}
+	final := shardFilePath(dir, sp)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("dispatch: creating shards directory: %w", err)
+	}
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("dispatch: writing shard %s: %w", sp.Name, err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("dispatch: encoding shard %s: %w", sp.Name, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("dispatch: flushing shard %s: %w", sp.Name, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dispatch: closing shard %s: %w", sp.Name, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("dispatch: committing shard %s: %w", sp.Name, err)
+	}
+	return nil
+}
+
+// LoadShardResults reads a completed shard's records and validates them
+// against the plan (count and job labels, in order).
+func LoadShardResults(dir string, sp ShardPlan) ([]RunRecord, error) {
+	f, err := os.Open(shardFilePath(dir, sp))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: reading shard %s: %w", sp.Name, err)
+	}
+	defer f.Close()
+	recs := make([]RunRecord, 0, len(sp.Specs))
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec RunRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("dispatch: shard %s record %d: %w", sp.Name, len(recs), err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dispatch: reading shard %s: %w", sp.Name, err)
+	}
+	if len(recs) != len(sp.Specs) {
+		return nil, fmt.Errorf("dispatch: shard %s holds %d records, plan has %d jobs", sp.Name, len(recs), len(sp.Specs))
+	}
+	for i, rec := range recs {
+		if want := sp.Specs[i].Name(); rec.Job != want {
+			return nil, fmt.Errorf("dispatch: shard %s record %d is %q, plan expects %q", sp.Name, i, rec.Job, want)
+		}
+		// The label omits insts/seed (constant within a grid), so compare
+		// the full spec too: a shard file produced against a different
+		// trace length or seed must not merge silently.
+		if rec.Spec != sp.Specs[i] {
+			return nil, fmt.Errorf("dispatch: shard %s record %d (%s) was run with spec %+v, plan has %+v",
+				sp.Name, i, rec.Job, rec.Spec, sp.Specs[i])
+		}
+	}
+	return recs, nil
+}
+
+// ShardComplete reports whether the shard's result file exists. Because
+// results are committed by rename, existence implies completeness; content
+// is still validated at merge time by LoadShardResults.
+func ShardComplete(dir string, sp ShardPlan) bool {
+	_, err := os.Stat(shardFilePath(dir, sp))
+	return err == nil
+}
+
+// ClearShards deletes every file in the shards subdirectory (complete
+// results and leftover temporaries alike); used when starting a sweep from
+// scratch in a directory holding an earlier checkpoint, possibly planned
+// with a different shard count.
+func ClearShards(dir string) error {
+	shardDir := filepath.Join(dir, ShardsDir)
+	entries, err := os.ReadDir(shardDir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("dispatch: listing %s: %w", shardDir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if err := os.Remove(filepath.Join(shardDir, e.Name())); err != nil {
+			return fmt.Errorf("dispatch: clearing %s: %w", e.Name(), err)
+		}
+	}
+	return nil
+}

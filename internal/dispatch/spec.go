@@ -1,0 +1,229 @@
+// Package dispatch is the sweep orchestration layer of the simulator: it
+// turns a full evaluation grid (profiles × engines × L0 variants × cache
+// sizes × technology nodes) into named, serialisable work units (shards),
+// executes the shards either in-process or as re-exec'd child worker
+// processes, persists one JSONL result file per shard so an interrupted
+// sweep resumes by skipping completed shards, and merges the shard results
+// back into the `internal/sim` Summary/BenchRecord path.
+//
+// The on-disk protocol is deliberately plain — a manifest.json describing
+// the shard plan plus one results JSONL per shard, completed atomically via
+// rename — so a future multi-host mode only needs a shared directory (or an
+// object store with the same two verbs) and a way to start `clgpsim worker
+// --shard=N` on each host; nothing in the format is process- or
+// machine-local.
+package dispatch
+
+import (
+	"fmt"
+
+	"clgp/internal/cacti"
+	"clgp/internal/core"
+	"clgp/internal/sim"
+	"clgp/internal/workload"
+)
+
+// JobSpec is one simulation of the grid in serialisable form. Unlike
+// sim.Job it carries no workload pointer: workers regenerate the workload
+// deterministically from (Profile, Insts, Seed), which is the contract
+// workload.Generate provides. That keeps shard hand-off down to a few
+// strings and integers instead of a multi-megabyte trace.
+type JobSpec struct {
+	// Profile names the workload profile (workload.ProfileByName).
+	Profile string `json:"profile"`
+	// Insts is the trace length in instructions.
+	Insts int `json:"insts"`
+	// Seed is the workload generation seed.
+	Seed int64 `json:"seed"`
+
+	// Tech is the technology node name (cacti.ParseTech form, e.g. "0.09um").
+	Tech string `json:"tech"`
+	// Engine is the instruction-delivery engine (core.ParseEngineKind form).
+	Engine string `json:"engine"`
+	// L1Size is the L1 I-cache size in bytes.
+	L1Size int `json:"l1_size"`
+	// UseL0 adds the one-cycle L0 cache.
+	UseL0 bool `json:"use_l0,omitempty"`
+	// Ideal makes every instruction fetch a one-cycle hit (Figure 1 baseline).
+	Ideal bool `json:"ideal,omitempty"`
+	// MaxInsts bounds committed instructions; 0 simulates the whole trace.
+	MaxInsts int `json:"max_insts,omitempty"`
+}
+
+// Validate checks that the spec can be turned into a runnable configuration.
+func (s JobSpec) Validate() error {
+	if _, err := workload.ProfileByName(s.Profile); err != nil {
+		return err
+	}
+	if s.Insts <= 0 {
+		return fmt.Errorf("dispatch: job %s: insts must be positive, got %d", s.Profile, s.Insts)
+	}
+	if _, err := cacti.ParseTech(s.Tech); err != nil {
+		return err
+	}
+	if _, err := core.ParseEngineKind(s.Engine); err != nil {
+		return err
+	}
+	if s.L1Size <= 0 {
+		return fmt.Errorf("dispatch: job %s: L1 size must be positive, got %d", s.Profile, s.L1Size)
+	}
+	return nil
+}
+
+// Name returns the job's unique label within its grid (sim.JobName form).
+func (s JobSpec) Name() string {
+	tech, err := cacti.ParseTech(s.Tech)
+	eng, err2 := core.ParseEngineKind(s.Engine)
+	if err != nil || err2 != nil {
+		// Unparseable specs still need a stable label for error reports.
+		return fmt.Sprintf("%s/%s/%s/L1=%dB", s.Profile, s.Engine, s.Tech, s.L1Size)
+	}
+	return sim.JobName(s.Profile, eng, tech, s.L1Size, s.UseL0, s.Ideal)
+}
+
+// WorkloadKey identifies the workload the job runs against. Jobs with equal
+// keys can share one generated workload, so the shard planner keeps them
+// together.
+func (s JobSpec) WorkloadKey() string {
+	return fmt.Sprintf("%s/%d/%d", s.Profile, s.Insts, s.Seed)
+}
+
+// Config builds the processor configuration for the spec.
+func (s JobSpec) Config() (core.Config, error) {
+	tech, err := cacti.ParseTech(s.Tech)
+	if err != nil {
+		return core.Config{}, err
+	}
+	eng, err := core.ParseEngineKind(s.Engine)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		Name:        s.Name(),
+		Tech:        tech,
+		L1ISize:     s.L1Size,
+		Engine:      eng,
+		UseL0:       s.UseL0 && eng != core.EngineNone,
+		IdealICache: s.Ideal,
+		MaxInsts:    s.MaxInsts,
+	}, nil
+}
+
+// SimJob binds the spec to an already generated workload.
+func (s JobSpec) SimJob(w *workload.Workload) (sim.Job, error) {
+	cfg, err := s.Config()
+	if err != nil {
+		return sim.Job{}, err
+	}
+	return sim.Job{Name: cfg.Name, Config: cfg, Workload: w}, nil
+}
+
+// GridConfig enumerates a paper evaluation grid.
+type GridConfig struct {
+	// Profiles are the workload profile names; empty selects all built-ins.
+	Profiles []string
+	// Insts is the trace length per workload.
+	Insts int
+	// Seed is the workload generation seed.
+	Seed int64
+	// Techs are the technology nodes to sweep.
+	Techs []cacti.Tech
+	// Engines are the instruction-delivery engines to sweep.
+	Engines []core.EngineKind
+	// Sizes are the L1 I-cache sizes in bytes; empty selects the paper's
+	// 256B..64KB sweep.
+	Sizes []int
+	// L0Variants additionally runs every prefetching engine with the L0
+	// enabled (EngineNone never takes an L0).
+	L0Variants bool
+	// IncludeIdeal adds the ideal-I-cache baseline (Figure 1) per size.
+	IncludeIdeal bool
+	// MaxInsts bounds committed instructions per run (0 = whole trace).
+	MaxInsts int
+}
+
+// GridSpecs enumerates the grid deterministically, workload-major (all jobs
+// of one profile are contiguous), so shard planning can keep jobs that share
+// a workload on the same shard.
+func GridSpecs(gc GridConfig) ([]JobSpec, error) {
+	if gc.Insts <= 0 {
+		return nil, fmt.Errorf("dispatch: grid needs a positive instruction count, got %d", gc.Insts)
+	}
+	profiles := gc.Profiles
+	if len(profiles) == 0 {
+		profiles = workload.ProfileNames()
+	}
+	techs := gc.Techs
+	if len(techs) == 0 {
+		techs = []cacti.Tech{cacti.Tech90}
+	}
+	engines := gc.Engines
+	if len(engines) == 0 {
+		engines = []core.EngineKind{core.EngineNone, core.EngineNextN, core.EngineFDP, core.EngineCLGP}
+	}
+	sizes := gc.Sizes
+	if len(sizes) == 0 {
+		sizes = cacti.L1Sizes()
+	}
+
+	var specs []JobSpec
+	add := func(s JobSpec) error {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		specs = append(specs, s)
+		return nil
+	}
+	for _, prof := range profiles {
+		for _, tech := range techs {
+			for _, eng := range engines {
+				l0s := []bool{false}
+				if gc.L0Variants && eng != core.EngineNone {
+					l0s = []bool{false, true}
+				}
+				for _, l0 := range l0s {
+					for _, size := range sizes {
+						err := add(JobSpec{
+							Profile: prof, Insts: gc.Insts, Seed: gc.Seed,
+							Tech: tech.String(), Engine: eng.String(),
+							L1Size: size, UseL0: l0, MaxInsts: gc.MaxInsts,
+						})
+						if err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+			if gc.IncludeIdeal {
+				for _, size := range sizes {
+					err := add(JobSpec{
+						Profile: prof, Insts: gc.Insts, Seed: gc.Seed,
+						Tech: tech.String(), Engine: core.EngineNone.String(),
+						L1Size: size, Ideal: true, MaxInsts: gc.MaxInsts,
+					})
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if err := checkUniqueNames(specs); err != nil {
+		return nil, err
+	}
+	return specs, nil
+}
+
+// checkUniqueNames rejects grids with duplicate job labels, which would make
+// merged results ambiguous.
+func checkUniqueNames(specs []JobSpec) error {
+	names := make(map[string]struct{}, len(specs))
+	for _, s := range specs {
+		n := s.Name()
+		if _, dup := names[n]; dup {
+			return fmt.Errorf("dispatch: duplicate job %q in grid", n)
+		}
+		names[n] = struct{}{}
+	}
+	return nil
+}

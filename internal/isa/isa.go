@@ -129,6 +129,12 @@ type StaticInst struct {
 	// is taken; used by the workload generator when synthesising dynamic
 	// behaviour. Non-branches ignore it.
 	TakenBias float64
+	// Noisy marks a conditional branch whose direction is data-dependent:
+	// the workload generator draws its outcomes i.i.d. (unlearnable by
+	// design) instead of history-correlated. The generator sets it from the
+	// planner's decision, since the bias value alone cannot distinguish a
+	// weakly-biased predictable branch from a noisy one.
+	Noisy bool
 }
 
 // FallThrough returns the address of the next sequential instruction.

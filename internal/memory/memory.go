@@ -64,6 +64,10 @@ type Request struct {
 	cancelled bool
 	readyAt   uint64
 	issuedAt  uint64
+	// pfIdx is the request's position in the hierarchy's pending-prefetch
+	// index while it is an unscheduled prefetch waiting for the bus
+	// (-1 otherwise), so cancellation costs O(in-flight prefetches).
+	pfIdx int32
 }
 
 // Scheduled reports whether the completion time is known yet.
@@ -217,6 +221,12 @@ type Hierarchy struct {
 	slots     []*Request
 	freeSlots []uint32
 
+	// pfPending indexes the slots of prefetch requests still waiting for
+	// the bus. CancelPrefetches walks this (swap-removed on grant) instead
+	// of scanning the whole slot table, whose size tracks the all-time
+	// maximum of outstanding requests, not the current prefetch backlog.
+	pfPending []uint32
+
 	// reqFree is the Request free-list: completed requests are returned via
 	// Release and reused, so steady-state simulation allocates no Requests.
 	reqFree []*Request
@@ -309,7 +319,7 @@ func (h *Hierarchy) newRequest(line isa.Addr, kind Kind) *Request {
 	} else {
 		r = &Request{}
 	}
-	*r = Request{Line: line, Kind: kind}
+	*r = Request{Line: line, Kind: kind, pfIdx: -1}
 	return r
 }
 
@@ -335,7 +345,28 @@ func (h *Hierarchy) enqueueBus(r *Request, from bus.Requester, now uint64) {
 	}
 	h.slots[tag] = r
 	r.issuedAt = now
+	if r.Kind == KindIPrefetch {
+		r.pfIdx = int32(len(h.pfPending))
+		h.pfPending = append(h.pfPending, tag)
+	}
 	h.arb.Enqueue(bus.Request{From: from, Tag: uint64(tag), Enqueued: now})
+}
+
+// untrackPrefetch swap-removes a pending prefetch from the cancellation
+// index (on bus grant).
+func (h *Hierarchy) untrackPrefetch(r *Request) {
+	i := r.pfIdx
+	if i < 0 {
+		return
+	}
+	last := int32(len(h.pfPending) - 1)
+	if i != last {
+		moved := h.pfPending[last]
+		h.pfPending[i] = moved
+		h.slots[moved].pfIdx = i
+	}
+	h.pfPending = h.pfPending[:last]
+	r.pfIdx = -1
 }
 
 // AccessIFetch performs a demand instruction fetch for the line containing
@@ -454,6 +485,9 @@ func (h *Hierarchy) Tick(now uint64) {
 	if r == nil {
 		return
 	}
+	if r.Kind == KindIPrefetch {
+		h.untrackPrefetch(r)
+	}
 	h.schedule(r, now)
 }
 
@@ -502,16 +536,22 @@ func (h *Hierarchy) PendingBusRequests() int { return h.arb.Pending() }
 // normally. Cancelled requests are marked ready-and-cancelled so their
 // owners observe the cancellation and release them. It returns the number of
 // cancelled requests.
+//
+// The walk is over the pending-prefetch index, so a flush costs O(in-flight
+// prefetches) instead of O(slot-table size) — the table's length tracks the
+// all-time maximum of outstanding requests of every kind, which on
+// memory-bound runs is far larger than the handful of prefetches a
+// misprediction squashes.
 func (h *Hierarchy) CancelPrefetches() int {
 	n := h.arb.Flush(bus.ReqPrefetch)
-	for tag := range h.slots {
+	for _, tag := range h.pfPending {
 		r := h.slots[tag]
-		if r != nil && r.Kind == KindIPrefetch && !r.scheduled {
-			h.slots[tag] = nil
-			h.freeSlots = append(h.freeSlots, uint32(tag))
-			r.cancelled = true
-		}
+		h.slots[tag] = nil
+		h.freeSlots = append(h.freeSlots, tag)
+		r.cancelled = true
+		r.pfIdx = -1
 	}
+	h.pfPending = h.pfPending[:0]
 	return n
 }
 

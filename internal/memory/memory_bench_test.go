@@ -1,6 +1,7 @@
 package memory
 
 import (
+	"fmt"
 	"testing"
 
 	"clgp/internal/cacti"
@@ -48,5 +49,51 @@ func BenchmarkHierarchyTick(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		step(i)
+	}
+}
+
+// BenchmarkCancelPrefetches measures a misprediction flush with a handful
+// of prefetches in flight against a slot table grown large by an earlier
+// burst of outstanding requests — the memory-bound steady state. The
+// pending-prefetch index must keep this proportional to the in-flight
+// prefetch count (and 0 allocs/op), not to the table size.
+func BenchmarkCancelPrefetches(b *testing.B) {
+	for _, slots := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("slots=%d", slots), func(b *testing.B) {
+			h := MustNew(DefaultConfig(cacti.Tech90, 4<<10))
+			// Grow the slot table: many demand requests outstanding at once,
+			// then drained so the table is large but idle.
+			grow := make([]*Request, 0, slots)
+			for i := 0; i < slots; i++ {
+				grow = append(grow, h.AccessData(isa.Addr(0x80_0000+i*64), 0, false))
+			}
+			now := uint64(0)
+			for _, r := range grow {
+				for !r.Scheduled() {
+					h.Tick(now)
+					now++
+				}
+			}
+			for _, r := range grow {
+				h.Release(r)
+			}
+
+			const inflight = 8
+			reqs := make([]*Request, inflight)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < inflight; j++ {
+					reqs[j] = h.AccessIPrefetch(isa.Addr(0x10_0000+j*64), now)
+				}
+				if n := h.CancelPrefetches(); n != inflight {
+					b.Fatalf("cancelled %d, want %d", n, inflight)
+				}
+				for j := 0; j < inflight; j++ {
+					h.Release(reqs[j])
+				}
+				now++
+			}
+		})
 	}
 }

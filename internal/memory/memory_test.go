@@ -364,3 +364,46 @@ func TestRequestsAlwaysCompleteProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCancelPrefetchesInterleavedWithGrants exercises the pending-prefetch
+// index across grants: prefetches granted before the flush must complete
+// normally and only the still-waiting ones must be cancelled, regardless of
+// the order the index tracked them in.
+func TestCancelPrefetchesInterleavedWithGrants(t *testing.T) {
+	h := MustNew(testConfig(4<<10, false))
+	var reqs []*Request
+	for i := 0; i < 5; i++ {
+		reqs = append(reqs, h.AccessIPrefetch(isa.Addr(0x40_0000+i*64), 0))
+	}
+	// Grant two of them (no higher-priority traffic, so FIFO order).
+	h.Tick(0)
+	h.Tick(1)
+	if !reqs[0].Scheduled() || !reqs[1].Scheduled() {
+		t.Fatalf("first two prefetches should have been granted")
+	}
+	if n := h.CancelPrefetches(); n != 3 {
+		t.Errorf("cancelled %d prefetches, want 3", n)
+	}
+	for i, r := range reqs {
+		granted := i < 2
+		if r.Scheduled() != granted || r.Cancelled() == granted {
+			t.Errorf("prefetch %d: scheduled=%v cancelled=%v, want granted=%v",
+				i, r.Scheduled(), r.Cancelled(), granted)
+		}
+		h.Release(r)
+	}
+	if h.PendingBusRequests() != 0 {
+		t.Errorf("pending = %d after flush", h.PendingBusRequests())
+	}
+
+	// The index must be reusable after a flush: new prefetches enqueue,
+	// grant and cancel cleanly.
+	p := h.AccessIPrefetch(0x41_0000, 10)
+	if n := h.CancelPrefetches(); n != 1 {
+		t.Errorf("second-round cancel got %d, want 1", n)
+	}
+	if !p.Cancelled() {
+		t.Errorf("second-round prefetch not cancelled")
+	}
+	h.Release(p)
+}

@@ -128,6 +128,26 @@ func runOne(j Job) Result {
 	return Result{Name: st.Name, Stats: st, Wall: time.Since(start)}
 }
 
+// JobName builds the canonical job label shared by the sweep and dispatch
+// layers: "workload/engine[+l0]/tech/L1=size", with "ideal" standing in for
+// the engine of an ideal-I-cache baseline. Within one grid the label is
+// unique per (workload, engine, L0, ideal, tech, L1 size) point, which is
+// what shard merging keys on.
+func JobName(workloadName string, eng core.EngineKind, tech cacti.Tech, l1Size int, useL0, ideal bool) string {
+	engLabel := eng.String()
+	if ideal {
+		if eng == core.EngineNone {
+			engLabel = "ideal"
+		} else {
+			engLabel += "+ideal"
+		}
+	}
+	if useL0 {
+		engLabel += "+l0"
+	}
+	return fmt.Sprintf("%s/%s/%s/L1=%s", workloadName, engLabel, tech, stats.FormatBytes(float64(l1Size)))
+}
+
 // SweepJobs builds the cross product of engines × L1 sizes for one
 // technology node over a workload — one paper figure's worth of runs.
 func SweepJobs(w *workload.Workload, tech cacti.Tech, sizes []int, engines []core.EngineKind, useL0 bool, maxInsts int) []Job {
@@ -141,7 +161,7 @@ func SweepJobs(w *workload.Workload, tech cacti.Tech, sizes []int, engines []cor
 				UseL0:    useL0 && eng != core.EngineNone,
 				MaxInsts: maxInsts,
 			}
-			cfg.Name = fmt.Sprintf("%s/%s/%s/L1=%s", w.Name, eng, tech, stats.FormatBytes(float64(size)))
+			cfg.Name = JobName(w.Name, eng, tech, size, cfg.UseL0, false)
 			jobs = append(jobs, Job{Name: cfg.Name, Config: cfg, Workload: w})
 		}
 	}

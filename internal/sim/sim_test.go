@@ -2,6 +2,8 @@ package sim
 
 import (
 	"encoding/json"
+	"errors"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -120,5 +122,90 @@ func TestSweepParallelSpeedup(t *testing.T) {
 	// shared CI machines.
 	if speedup < 2.5 {
 		t.Errorf("parallel sweep speedup %.2fx below expected bound", speedup)
+	}
+}
+
+// TestBenchJSONRoundTrip: every field of a BenchRecord batch must survive
+// the write/read cycle bit-exactly, including the optional speedup field.
+func TestBenchJSONRoundTrip(t *testing.T) {
+	recs := []BenchRecord{
+		{
+			Name: "grid-serial", Workers: 1, Sims: 16,
+			TotalCycles: 123_456_789, TotalInsts: 98_765_432,
+			WallSeconds: 12.5, CyclesPerSec: 9_876_543.1, SimsPerSec: 1.28,
+		},
+		{
+			Name: "grid-parallel", Workers: 8, Sims: 16,
+			TotalCycles: 123_456_789, TotalInsts: 98_765_432,
+			WallSeconds: 1.8, CyclesPerSec: 68_587_105, SimsPerSec: 8.89,
+			SpeedupVsSerial: 6.94,
+		},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_roundtrip.json")
+	if err := WriteBenchJSON(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []BenchRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip decode: %v", err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round-tripped %d records, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Errorf("record %d mutated by round-trip:\nwrote %+v\nread  %+v", i, recs[i], back[i])
+		}
+	}
+}
+
+// TestSummariseOrderInvariant: Summarise must not depend on result order —
+// the property shard merging relies on, since shards complete in arbitrary
+// order and resumed sweeps interleave checkpointed and fresh results.
+func TestSummariseOrderInvariant(t *testing.T) {
+	w := benchWorkload(t, 6_000, 21)
+	jobs := grid16(w)[:6]
+	results := Runner{Workers: 2}.Run(jobs)
+	// Inject one synthetic failure so the Failed counter is exercised too.
+	results = append(results, Result{Name: "synthetic-failure", Err: errors.New("boom")})
+
+	wall := 3 * time.Second
+	want := Summarise(results, wall)
+	if want.Sims != 6 || want.Failed != 1 {
+		t.Fatalf("unexpected base summary %+v", want)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]Result(nil), results...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := Summarise(shuffled, wall); got != want {
+			t.Fatalf("trial %d: summary depends on result order:\nwant %+v\ngot  %+v", trial, want, got)
+		}
+	}
+}
+
+// TestJobNameVariants: the canonical job label must disambiguate every grid
+// dimension that can coexist in one sweep.
+func TestJobNameVariants(t *testing.T) {
+	names := map[string]bool{}
+	for _, l0 := range []bool{false, true} {
+		for _, ideal := range []bool{false, true} {
+			n := JobName("gcc", core.EngineCLGP, cacti.Tech90, 2<<10, l0, ideal)
+			if names[n] {
+				t.Errorf("duplicate label %q", n)
+			}
+			names[n] = true
+		}
+	}
+	if n := JobName("gcc", core.EngineNone, cacti.Tech90, 1<<10, false, true); n != "gcc/ideal/0.09um/L1=1KB" {
+		t.Errorf("ideal baseline label = %q", n)
+	}
+	if n := JobName("gcc", core.EngineCLGP, cacti.Tech45, 256, true, false); n != "gcc/clgp+l0/0.045um/L1=256B" {
+		t.Errorf("clgp+l0 label = %q", n)
 	}
 }

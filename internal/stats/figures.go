@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// This file is the series-extraction half of the package: helpers the
+// figure harness uses to assemble SeriesSet values from batches of per-run
+// Results and to persist them as JSON and CSV, the two formats the paper
+// figures are emitted in.
+
+// Ensure returns the series with the given name, creating and appending it
+// when absent. It lets extraction loops accumulate points keyed by
+// configuration label without tracking series indices.
+func (ss *SeriesSet) Ensure(name string) *Series {
+	if s := ss.Find(name); s != nil {
+		return s
+	}
+	s := &Series{Name: name}
+	ss.Series = append(ss.Series, s)
+	return s
+}
+
+// Label returns the categorical label for x when the set carries labels
+// (x values are then indices into Labels), or the numeric rendering.
+func (ss *SeriesSet) Label(x float64) string {
+	i := int(x)
+	if len(ss.Labels) > 0 && float64(i) == x && i >= 0 && i < len(ss.Labels) {
+		return ss.Labels[i]
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// xValues returns the sorted union of the series' x values.
+func (ss *SeriesSet) xValues() []float64 {
+	seen := make(map[float64]struct{})
+	var xs []float64
+	for _, s := range ss.Series {
+		for _, x := range s.X {
+			if _, ok := seen[x]; ok {
+				continue
+			}
+			seen[x] = struct{}{}
+			xs = append(xs, x)
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// seriesSetJSON is the serialised shape of a SeriesSet: self-describing
+// (axes, labels) so downstream plotting needs no other input.
+type seriesSetJSON struct {
+	Title  string       `json:"title"`
+	XLabel string       `json:"x_label"`
+	YLabel string       `json:"y_label"`
+	Labels []string     `json:"labels,omitempty"`
+	Series []seriesJSON `json:"series"`
+}
+
+type seriesJSON struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// JSON encodes the set (indented, trailing newline) for figure files.
+func (ss *SeriesSet) JSON() ([]byte, error) {
+	out := seriesSetJSON{Title: ss.Title, XLabel: ss.XLabel, YLabel: ss.YLabel, Labels: ss.Labels}
+	for _, s := range ss.Series {
+		out.Series = append(out.Series, seriesJSON{Name: s.Name, X: s.X, Y: s.Y})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("stats: encoding series set %q: %w", ss.Title, err)
+	}
+	return append(data, '\n'), nil
+}
+
+// SeriesSetFromJSON decodes a set written by JSON.
+func SeriesSetFromJSON(data []byte) (*SeriesSet, error) {
+	var in seriesSetJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("stats: decoding series set: %w", err)
+	}
+	ss := &SeriesSet{Title: in.Title, XLabel: in.XLabel, YLabel: in.YLabel, Labels: in.Labels}
+	for _, s := range in.Series {
+		ss.Series = append(ss.Series, &Series{Name: s.Name, X: s.X, Y: s.Y})
+	}
+	return ss, nil
+}
+
+// WriteCSV renders the set as CSV: a header of the x axis plus one column
+// per series, one row per x value (labelled via Labels when present);
+// missing points are empty cells.
+func (ss *SeriesSet) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{ss.XLabel}
+	for _, s := range ss.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("stats: writing CSV of %q: %w", ss.Title, err)
+	}
+	for _, x := range ss.xValues() {
+		row := []string{ss.Label(x)}
+		for _, s := range ss.Series {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				row = append(row, "")
+			} else {
+				row = append(row, strconv.FormatFloat(y, 'g', -1, 64))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("stats: writing CSV of %q: %w", ss.Title, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("stats: writing CSV of %q: %w", ss.Title, err)
+	}
+	return nil
+}
+
+// WriteFiles persists the set as <base>.json and <base>.csv.
+func (ss *SeriesSet) WriteFiles(base string) error {
+	data, err := ss.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(base+".json", data, 0o644); err != nil {
+		return fmt.Errorf("stats: writing %s.json: %w", base, err)
+	}
+	f, err := os.Create(base + ".csv")
+	if err != nil {
+		return fmt.Errorf("stats: writing %s.csv: %w", base, err)
+	}
+	if err := ss.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("stats: writing %s.csv: %w", base, err)
+	}
+	return nil
+}

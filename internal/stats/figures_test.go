@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func exampleSet() *SeriesSet {
+	ss := &SeriesSet{
+		Title: "IPC per benchmark", XLabel: "benchmark", YLabel: "IPC",
+		Labels: []string{"gzip", "gcc", "HMEAN"},
+	}
+	a := ss.Ensure("none")
+	a.Add(0, 1.0)
+	a.Add(1, 0.8)
+	a.Add(2, 0.888)
+	b := ss.Ensure("clgp")
+	b.Add(0, 1.4)
+	b.Add(2, 1.35) // no point at x=1: CSV must leave the cell empty
+	return ss
+}
+
+func TestEnsureFindsExistingSeries(t *testing.T) {
+	ss := exampleSet()
+	if got := ss.Ensure("none"); got != ss.Series[0] {
+		t.Errorf("Ensure created a duplicate series")
+	}
+	if len(ss.Series) != 2 {
+		t.Errorf("Ensure grew the set to %d series", len(ss.Series))
+	}
+	ss.Ensure("new")
+	if len(ss.Series) != 3 || ss.Find("new") == nil {
+		t.Errorf("Ensure did not append the new series")
+	}
+}
+
+func TestSeriesSetJSONRoundTrip(t *testing.T) {
+	ss := exampleSet()
+	data, err := ss.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := SeriesSetFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != ss.Title || back.XLabel != ss.XLabel || back.YLabel != ss.YLabel {
+		t.Errorf("metadata did not round-trip: %+v", back)
+	}
+	if len(back.Labels) != 3 || back.Labels[2] != "HMEAN" {
+		t.Errorf("labels did not round-trip: %v", back.Labels)
+	}
+	if len(back.Series) != len(ss.Series) {
+		t.Fatalf("series count %d, want %d", len(back.Series), len(ss.Series))
+	}
+	for i, s := range ss.Series {
+		bs := back.Series[i]
+		if bs.Name != s.Name || len(bs.X) != len(s.X) {
+			t.Errorf("series %d mismatch: %+v vs %+v", i, bs, s)
+			continue
+		}
+		for j := range s.X {
+			if bs.X[j] != s.X[j] || bs.Y[j] != s.Y[j] {
+				t.Errorf("series %s point %d mismatch", s.Name, j)
+			}
+		}
+	}
+}
+
+func TestSeriesSetCSV(t *testing.T) {
+	ss := exampleSet()
+	var sb strings.Builder
+	if err := ss.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want header + 3 rows:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "benchmark,none,clgp" {
+		t.Errorf("header %q", lines[0])
+	}
+	if lines[1] != "gzip,1,1.4" {
+		t.Errorf("row 0 %q", lines[1])
+	}
+	// clgp has no point at gcc: empty cell, not 0.
+	if lines[2] != "gcc,0.8," {
+		t.Errorf("row 1 %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "HMEAN,") {
+		t.Errorf("row 2 %q should use the categorical label", lines[3])
+	}
+}
+
+func TestSeriesSetLabelFallsBackToNumeric(t *testing.T) {
+	ss := &SeriesSet{XLabel: "L1I"}
+	s := ss.Ensure("ipc")
+	s.Add(1024, 1.0)
+	if got := ss.Label(1024); got != "1024" {
+		t.Errorf("numeric label = %q", got)
+	}
+	labelled := exampleSet()
+	if got := labelled.Label(1); got != "gcc" {
+		t.Errorf("categorical label = %q", got)
+	}
+	// Out-of-range and fractional x fall back to numbers even with labels.
+	if got := labelled.Label(7); got != "7" {
+		t.Errorf("out-of-range label = %q", got)
+	}
+	if got := labelled.Label(0.5); got != "0.5" {
+		t.Errorf("fractional label = %q", got)
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	ss := exampleSet()
+	base := t.TempDir() + "/figure6"
+	if err := ss.WriteFiles(base); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{".json", ".csv"} {
+		if fi, err := os.Stat(base + ext); err != nil || fi.Size() == 0 {
+			t.Errorf("%s%s missing or empty: %v", base, ext, err)
+		}
+	}
+}
+
+func TestTableUsesLabels(t *testing.T) {
+	ss := exampleSet()
+	out := ss.Table(nil).String()
+	if !strings.Contains(out, "gzip") || !strings.Contains(out, "HMEAN") {
+		t.Errorf("table did not use categorical labels:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("table leaked NaN:\n%s", out)
+	}
+}

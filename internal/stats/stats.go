@@ -7,7 +7,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 )
 
@@ -391,6 +390,9 @@ type SeriesSet struct {
 	Title string
 	// XLabel and YLabel describe the axes.
 	XLabel, YLabel string
+	// Labels, when set, makes the X axis categorical: x values are indices
+	// into Labels (the per-benchmark figures use the profile names here).
+	Labels []string
 	// Series are the plotted configurations.
 	Series []*Series
 }
@@ -407,27 +409,16 @@ func (ss *SeriesSet) Find(name string) *Series {
 
 // Table renders the series set as a text table with one row per X value and
 // one column per series, which is how the reproduction prints each figure.
+// With a nil xFormat, categorical labels are used when the set has them.
 func (ss *SeriesSet) Table(xFormat func(float64) string) *Table {
 	if xFormat == nil {
-		xFormat = func(x float64) string { return fmt.Sprintf("%g", x) }
+		xFormat = ss.Label
 	}
 	t := &Table{Header: []string{ss.XLabel}}
 	for _, s := range ss.Series {
 		t.Header = append(t.Header, s.Name)
 	}
-	// Collect the union of X values in ascending order.
-	xset := make(map[float64]struct{})
-	for _, s := range ss.Series {
-		for _, x := range s.X {
-			xset[x] = struct{}{}
-		}
-	}
-	xs := make([]float64, 0, len(xset))
-	for x := range xset {
-		xs = append(xs, x)
-	}
-	sort.Float64s(xs)
-	for _, x := range xs {
+	for _, x := range ss.xValues() {
 		row := []string{xFormat(x)}
 		for _, s := range ss.Series {
 			y := s.YAt(x)

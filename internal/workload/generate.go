@@ -143,11 +143,11 @@ func (cb *codeBuilder) newBlock(nBody int) *blockBuilder {
 // terminator kinds appended to a block under construction.
 func (cb *codeBuilder) finishFallThrough(bb *blockBuilder) error { return cb.commit(bb) }
 
-func (cb *codeBuilder) finishBranch(bb *blockBuilder, target isa.Addr, bias float64) error {
+func (cb *codeBuilder) finishBranch(bb *blockBuilder, target isa.Addr, bias float64, noisy bool) error {
 	pc := bb.start + isa.Addr(len(bb.insts))*isa.InstBytes
 	bb.insts = append(bb.insts, isa.StaticInst{
 		PC: pc, Class: isa.OpBranch, Target: target,
-		Src1: cb.pickSrc(), Src2: isa.RegZero, Dst: isa.RegZero, TakenBias: bias,
+		Src1: cb.pickSrc(), Src2: isa.RegZero, Dst: isa.RegZero, TakenBias: bias, Noisy: noisy,
 	})
 	return cb.commit(bb)
 }
@@ -207,7 +207,10 @@ type plannedBlock struct {
 	// For branches: relative block offset of the target (negative = loop).
 	relTarget int
 	bias      float64
-	callee    isa.Addr
+	// noisy marks a data-dependent branch (outcomes drawn i.i.d. by the
+	// walker instead of history-correlated).
+	noisy  bool
+	callee isa.Addr
 }
 
 // buildFunction emits one function with the planned structure and returns
@@ -241,7 +244,7 @@ func (cb *codeBuilder) buildFunction(plan []plannedBlock) (isa.Addr, error) {
 			if tgt >= len(plan) {
 				tgt = len(plan) - 1
 			}
-			err = cb.finishBranch(bb, starts[tgt], pb.bias)
+			err = cb.finishBranch(bb, starts[tgt], pb.bias, pb.noisy)
 		case 2:
 			err = cb.finishCall(bb, pb.callee)
 		case 3:
@@ -307,6 +310,7 @@ func planMid(p Profile, rng *rand.Rand, leaves []isa.Addr, blockLen func() int) 
 			plan[i].relTarget = 1 + rng.Intn(2) + 1
 			if rng.Float64() < p.NoisyBranchFrac {
 				plan[i].bias = p.NoisyTakenBias
+				plan[i].noisy = true
 			} else {
 				plan[i].bias = p.ForwardTakenBias
 			}
@@ -395,12 +399,97 @@ func (ds *dataState) next(rng *rand.Rand) isa.Addr {
 	return DataBase + ds.seqPtr
 }
 
+// Branch outcomes are not drawn i.i.d. per dynamic instance: real branches
+// are history-correlated — loops iterate a stable number of times and
+// data-dependent conditions persist across nearby executions — and the
+// stream predictor's whole premise is that this structure exists. Each
+// static conditional branch therefore carries a small 2-state behaviour:
+//
+//   - loop back-edges run a per-visit trip count drawn around
+//     bias/(1-bias) (so the stationary taken rate still matches the
+//     profile bias) and only occasionally jittered by ±1;
+//   - biased forward branches follow a 2-state Markov chain whose
+//     stationary taken probability is the bias and whose lag-1
+//     autocorrelation is fwdBranchCorr, producing the streaky behaviour
+//     predictors exploit;
+//   - noisy branches (marked by the planner via StaticInst.Noisy) stay
+//     i.i.d. — they model data-dependent directions no predictor can
+//     learn. The planner's flag, not the bias value, decides: a weakly
+//     biased branch can still be perfectly history-correlated.
+const (
+	// fwdBranchCorr is the lag-1 autocorrelation of biased forward branches.
+	fwdBranchCorr = 0.9
+	// tripJitterFrac is the probability that one loop visit runs ±1
+	// iterations off the branch's base trip count.
+	tripJitterFrac = 0.2
+)
+
+// branchState is the per-static-branch 2-state walker behaviour.
+type branchState struct {
+	// remaining is the number of taken executions left before the loop
+	// back-edge falls through (loop branches only).
+	remaining int
+	// lastTaken is the previous outcome (forward branches only).
+	lastTaken bool
+	// primed reports whether lastTaken has been initialised.
+	primed bool
+}
+
+// loopTrips draws the taken-run length for one loop visit: the base count
+// keeps the stationary taken rate at the bias, with occasional ±1 jitter so
+// runs are stable but not perfectly uniform.
+func loopTrips(bias float64, rng *rand.Rand) int {
+	base := int(math.Round(bias / (1 - bias + 1e-9)))
+	if base < 1 {
+		base = 1
+	}
+	switch r := rng.Float64(); {
+	case r < tripJitterFrac/2 && base > 1:
+		base--
+	case r > 1-tripJitterFrac/2:
+		base++
+	}
+	return base
+}
+
+// nextOutcome produces one dynamic direction for the branch.
+func (bs *branchState) nextOutcome(si *isa.StaticInst, rng *rand.Rand) bool {
+	bias := si.TakenBias
+	switch {
+	case si.Target < si.PC:
+		// Loop back-edge: taken `remaining` times, then one fall-through.
+		if bs.remaining > 0 {
+			bs.remaining--
+			return true
+		}
+		bs.remaining = loopTrips(bias, rng)
+		return false
+	case si.Noisy:
+		// Noisy data-dependent branch: i.i.d., unlearnable by design.
+		return rng.Float64() < bias
+	default:
+		// Biased forward branch: 2-state Markov chain with stationary
+		// probability `bias` and autocorrelation fwdBranchCorr.
+		if !bs.primed {
+			bs.lastTaken = rng.Float64() < bias
+			bs.primed = true
+		}
+		pTaken := bias * (1 - fwdBranchCorr)
+		if bs.lastTaken {
+			pTaken = bias + fwdBranchCorr*(1-bias)
+		}
+		bs.lastTaken = rng.Float64() < pTaken
+		return bs.lastTaken
+	}
+}
+
 // walk executes the program dynamically, producing the correct-path trace.
 func walk(p Profile, prog *program, numInsts int, rng *rand.Rand) (*trace.MemTrace, error) {
 	tr := trace.NewMemTrace(make([]trace.Record, 0, numInsts))
 	ds := newDataState(p)
 	pc := prog.dict.Entry()
 	var callStack []isa.Addr
+	branches := make(map[isa.Addr]*branchState)
 
 	for tr.Len() < numInsts {
 		si := prog.dict.Inst(pc)
@@ -413,7 +502,23 @@ func walk(p Profile, prog *program, numInsts int, rng *rand.Rand) (*trace.MemTra
 		}
 		switch si.Class {
 		case isa.OpBranch:
-			taken := rng.Float64() < si.TakenBias
+			var taken bool
+			if pc >= prog.driver {
+				// Driver guard branches implement the Zipf-like function
+				// dispatch; they stay i.i.d. so the mix of hot and cold
+				// functions interleaves at loop granularity (correlating
+				// them would serialise execution into long single-function
+				// phases and shrink the dynamic footprint the cache sweep
+				// depends on).
+				taken = rng.Float64() < si.TakenBias
+			} else {
+				bs := branches[pc]
+				if bs == nil {
+					bs = &branchState{}
+					branches[pc] = bs
+				}
+				taken = bs.nextOutcome(si, rng)
+			}
 			rec.Taken = taken
 			if taken {
 				rec.Target = si.Target

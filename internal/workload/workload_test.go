@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sort"
 	"testing"
 
 	"clgp/internal/isa"
@@ -322,4 +323,118 @@ func TestMustGeneratePanics(t *testing.T) {
 		}
 	}()
 	MustGenerate(Profile{}, 100, 1)
+}
+
+// TestBranchOutcomesHistoryCorrelated: branch directions must carry the
+// structure predictors exploit — biased forward branches streak (positive
+// lag-1 correlation) and loop back-edges run stable trip counts — while
+// remaining deterministic per seed (covered by TestGenerateDeterminism).
+func TestBranchOutcomesHistoryCorrelated(t *testing.T) {
+	// twolf matters here: its ForwardTakenBias (0.40) is close to 0.5, and a
+	// bias-derived noisy classification would silently fall back to i.i.d.
+	// for every predictable forward branch of the profile — the planner's
+	// Noisy flag, not the bias value, must drive the behaviour.
+	for _, name := range []string{"gcc", "twolf"} {
+		t.Run(name, func(t *testing.T) { checkBranchCorrelation(t, name) })
+	}
+}
+
+func checkBranchCorrelation(t *testing.T, profile string) {
+	p, _ := ProfileByName(profile)
+	w := MustGenerate(p, 80000, 17)
+	driver := w.Dict.Entry() // driver guards are i.i.d. by design; skip them
+
+	outcomes := make(map[isa.Addr][]bool)
+	for i := 0; i < w.Trace.Len(); i++ {
+		r := w.Trace.At(i)
+		si := w.Dict.Inst(r.PC)
+		if si.Class != isa.OpBranch || r.PC >= driver {
+			continue
+		}
+		outcomes[r.PC] = append(outcomes[r.PC], r.Taken)
+	}
+
+	// Biased forward branches: P(taken | prev taken) must exceed
+	// P(taken | prev not-taken) by a wide margin in aggregate.
+	var tt, tPrefix, nt, nPrefix int
+	// Loop back-edges: taken-run lengths must cluster within ±1 of the
+	// branch's median run.
+	runsTotal, runsNearMedian := 0, 0
+	for pc, seq := range outcomes {
+		si := w.Dict.Inst(pc)
+		if len(seq) < 40 {
+			continue
+		}
+		switch {
+		case si.Target < si.PC:
+			runs := takenRuns(seq)
+			if len(runs) < 5 {
+				continue
+			}
+			m := medianInt(runs)
+			for _, r := range runs {
+				runsTotal++
+				if r >= m-1 && r <= m+1 {
+					runsNearMedian++
+				}
+			}
+		case !si.Noisy:
+			for i := 1; i < len(seq); i++ {
+				if seq[i-1] {
+					tPrefix++
+					if seq[i] {
+						tt++
+					}
+				} else {
+					nPrefix++
+					if seq[i] {
+						nt++
+					}
+				}
+			}
+		}
+	}
+
+	if tPrefix < 100 || nPrefix < 100 {
+		t.Fatalf("too few forward-branch transitions to measure (%d, %d)", tPrefix, nPrefix)
+	}
+	pTT := float64(tt) / float64(tPrefix)
+	pTN := float64(nt) / float64(nPrefix)
+	if diff := pTT - pTN; diff < 0.4 {
+		t.Errorf("forward branches not history-correlated: P(T|T)=%.3f P(T|N)=%.3f (diff %.3f, want >= 0.4)",
+			pTT, pTN, diff)
+	}
+	if runsTotal < 50 {
+		t.Fatalf("too few loop runs to measure (%d)", runsTotal)
+	}
+	if frac := float64(runsNearMedian) / float64(runsTotal); frac < 0.7 {
+		t.Errorf("loop trip counts unstable: only %.0f%% of %d runs within ±1 of their branch median",
+			100*frac, runsTotal)
+	}
+}
+
+// takenRuns returns the lengths of maximal runs of taken outcomes that are
+// bounded by not-taken outcomes on both sides (complete loop visits).
+func takenRuns(seq []bool) []int {
+	var runs []int
+	run, inRun := 0, false
+	for _, taken := range seq {
+		if taken {
+			if inRun {
+				run++
+			}
+			continue
+		}
+		if inRun && run > 0 {
+			runs = append(runs, run)
+		}
+		run, inRun = 0, true
+	}
+	return runs
+}
+
+func medianInt(xs []int) int {
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	return s[len(s)/2]
 }
