@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke run sweep figures clean
+.PHONY: all build test test-race vet bench bench-smoke run sweep figures stream-smoke clean
 
 all: vet build test
 
@@ -36,6 +36,18 @@ sweep:
 # clgp-figures/; re-run with the same target to resume after interruption).
 figures:
 	$(GO) run ./cmd/clgpsim figures -insts 200000 -dir clgp-figures -resume
+
+# Record a trace container and stream it back through a bounded window:
+# the summary must be bit-identical to the regenerating in-memory path.
+# (No pipes around clgpsim — a simulator failure must fail the recipe.)
+stream-smoke:
+	$(GO) run ./cmd/clgpsim trace record -profile gzip -insts 50000 -seed 1 -o /tmp/clgp-smoke.clgt
+	$(GO) run ./cmd/clgpsim run -profile gzip -insts 50000 -seed 1 -engine clgp -l1 2048 > /tmp/clgp-smoke-mem-full.txt
+	$(GO) run ./cmd/clgpsim run -tracefile /tmp/clgp-smoke.clgt -window 8192 -engine clgp -l1 2048 > /tmp/clgp-smoke-str-full.txt
+	grep -v "wall time" /tmp/clgp-smoke-mem-full.txt > /tmp/clgp-smoke-mem.txt
+	grep -v -e "wall time" -e "trace window" /tmp/clgp-smoke-str-full.txt > /tmp/clgp-smoke-str.txt
+	diff /tmp/clgp-smoke-mem.txt /tmp/clgp-smoke-str.txt
+	$(GO) run ./cmd/clgpsim trace bench -profile gzip -insts 100000 -json BENCH_tracefile.json
 
 clean:
 	$(GO) clean ./...

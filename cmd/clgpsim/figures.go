@@ -73,6 +73,8 @@ func cmdFigures(args []string) error {
 	resume := fs.Bool("resume", false, "resume an interrupted sweep, skipping completed shards")
 	figL1 := fs.Int("fig-l1", 2<<10, "L1 size used by the per-benchmark figures (6/7/8)")
 	benchJSON := fs.String("json", "", "also write a BENCH-format throughput record to this path")
+	traceFile := fs.String("tracefile", "", "stream every job's trace from this recorded container (single-profile grids only)")
+	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,6 +111,8 @@ func cmdFigures(args []string) error {
 		Techs:        techs,
 		L0Variants:   true,
 		IncludeIdeal: true,
+		TraceFile:    *traceFile,
+		Window:       *window,
 	})
 	if err != nil {
 		return err

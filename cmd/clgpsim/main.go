@@ -4,17 +4,19 @@
 //
 // Usage:
 //
-//	clgpsim run     [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0]
-//	clgpsim sweep   [-profile gcc] [-insts 200000] [-tech 90] [-workers 0] [-json BENCH_sweep.json]
+//	clgpsim run     [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0] [-tracefile F -window N]
+//	clgpsim sweep   [-profile gcc] [-insts 200000] [-tech 90] [-workers 0] [-json BENCH_sweep.json] [-tracefile F -window N]
 //	clgpsim bench   [-profile gcc] [-insts 100000] [-workers 0] [-json BENCH_clgpsim.json]
 //	clgpsim figures [-insts 200000] [-techs 90,45] [-profiles ...] [-dir clgp-figures] [-shards 0] [-exec] [-resume]
 //	clgpsim worker  -dir DIR -shard N [-workers 0]
+//	clgpsim trace   record|info|slice|bench ...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -22,6 +24,8 @@ import (
 	"clgp/internal/core"
 	"clgp/internal/sim"
 	"clgp/internal/stats"
+	"clgp/internal/trace"
+	"clgp/internal/tracefile"
 	"clgp/internal/workload"
 )
 
@@ -42,6 +46,8 @@ func main() {
 		err = cmdFigures(os.Args[2:])
 	case "worker":
 		err = cmdWorker(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -64,6 +70,7 @@ commands:
   bench    measure simulator throughput (serial vs parallel) and emit BENCH json
   figures  run/resume the sharded full-paper grid and emit Figure 1/6/7/8 series
   worker   execute one shard of a sweep directory (spawned by figures -exec)
+  trace    record/inspect/slice on-disk trace containers and bench trace I/O
 `)
 }
 
@@ -87,6 +94,8 @@ func cmdRun(args []string) error {
 	useL0 := fs.Bool("l0", false, "add the one-cycle L0 cache")
 	pb := fs.Int("pb", 0, "pre-buffer entries (0 = node default)")
 	ideal := fs.Bool("ideal", false, "ideal (one-cycle) instruction cache")
+	traceFile := fs.String("tracefile", "", "stream the trace from this recorded container (overrides -profile/-insts/-seed)")
+	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,15 +108,38 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	w, err := loadWorkload(*profile, *insts, *seed)
-	if err != nil {
-		return err
+	// The trace source: regenerated in memory, or windowed over a recorded
+	// container whose header names the workload and seed to rebuild the
+	// program image from.
+	var (
+		w  *workload.Workload
+		tr core.TraceSource
+		wt *trace.WindowTrace
+	)
+	if *traceFile != "" {
+		var rd *tracefile.Reader
+		w, rd, err = sim.OpenStreamImage(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer rd.Close()
+		wt, err = trace.NewWindowTrace(rd, *window)
+		if err != nil {
+			return err
+		}
+		tr = wt
+	} else {
+		w, err = loadWorkload(*profile, *insts, *seed)
+		if err != nil {
+			return err
+		}
+		tr = w.Trace
 	}
 	cfg := core.Config{
 		Tech: tn, L1ISize: *l1, Engine: ek, UseL0: *useL0,
 		PreBufferEntries: *pb, IdealICache: *ideal,
 	}
-	eng, err := core.NewEngine(cfg, w.Dict, w.Trace)
+	eng, err := core.NewEngine(cfg, w.Dict, tr)
 	if err != nil {
 		return err
 	}
@@ -118,6 +150,10 @@ func cmdRun(args []string) error {
 	}
 	wall := time.Since(start)
 	fmt.Print(r.Summary())
+	if wt != nil {
+		fmt.Printf("  trace window:         %d records resident max (cap %d, %d source reads)\n",
+			wt.MaxResident(), wt.Cap(), wt.SourceReads())
+	}
 	fmt.Printf("  wall time:            %v (%.0f cycles/sec)\n",
 		wall.Round(time.Millisecond), float64(r.Cycles)/wall.Seconds())
 	return nil
@@ -132,6 +168,8 @@ func cmdSweep(args []string) error {
 	useL0 := fs.Bool("l0", false, "add the one-cycle L0 to prefetching engines")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "write BENCH-format throughput json to this path")
+	traceFile := fs.String("tracefile", "", "stream every job's trace from this recorded container (overrides -profile/-insts/-seed)")
+	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,13 +178,29 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	w, err := loadWorkload(*profile, *insts, *seed)
-	if err != nil {
-		return err
+	var w *workload.Workload
+	if *traceFile != "" {
+		// Jobs share the rebuilt program image; each engine windows its own
+		// reader over the container, so the full trace is never resident.
+		var rd *tracefile.Reader
+		w, rd, err = sim.OpenStreamImage(*traceFile)
+		if err != nil {
+			return err
+		}
+		rd.Close()
+	} else {
+		w, err = loadWorkload(*profile, *insts, *seed)
+		if err != nil {
+			return err
+		}
 	}
 	engines := []core.EngineKind{core.EngineNone, core.EngineNextN, core.EngineFDP, core.EngineCLGP}
 	sizes := cacti.L1Sizes()
 	jobs := sim.SweepJobs(w, tn, sizes, engines, *useL0, 0)
+	for i := range jobs {
+		jobs[i].TraceFile = *traceFile
+		jobs[i].Window = *window
+	}
 
 	runner := sim.Runner{Workers: *workers}
 	start := time.Now()
@@ -229,6 +283,16 @@ func cmdBench(args []string) error {
 		fmt.Println("note: GOMAXPROCS=1 — parallel speedup needs a multi-core machine")
 	}
 
+	// The same grid streamed from a recorded container instead of the
+	// in-memory trace: the perf trajectory of the trace-I/O path.
+	streamSum, err := benchStreamedGrid(w, *seed, *insts, jobs, runner)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("streamed: %8v  %12.0f cycles/sec  %6.2f sims/sec  (%d workers, windowed trace file)\n",
+		streamSum.Wall.Round(time.Millisecond), streamSum.CyclesPerSec(), streamSum.SimsPerSec(),
+		runner.EffectiveWorkers())
+
 	for i := range jobs {
 		if serialRes[i].Err != nil || parRes[i].Err != nil {
 			return fmt.Errorf("job %s failed: %v %v", jobs[i].Name, serialRes[i].Err, parRes[i].Err)
@@ -239,10 +303,39 @@ func cmdBench(args []string) error {
 		serialRec := sim.RecordFromSummary("grid-serial", 1, serialSum)
 		parRec := sim.RecordFromSummary("grid-parallel", runner.EffectiveWorkers(), parSum)
 		parRec.SpeedupVsSerial = speedup
-		if err := sim.WriteBenchJSON(*jsonPath, []sim.BenchRecord{serialRec, parRec}); err != nil {
+		streamRec := sim.RecordFromSummary("grid-streamed", runner.EffectiveWorkers(), streamSum)
+		if err := sim.WriteBenchJSON(*jsonPath, []sim.BenchRecord{serialRec, parRec, streamRec}); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 	return nil
+}
+
+// benchStreamedGrid re-runs the bench grid with every job streaming its
+// trace from a freshly recorded container through the default window.
+func benchStreamedGrid(w *workload.Workload, seed int64, insts int, jobs []sim.Job, runner sim.Runner) (sim.Summary, error) {
+	dir, err := os.MkdirTemp("", "clgp-bench-stream")
+	if err != nil {
+		return sim.Summary{}, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, w.Name+".clgt")
+	if _, err := sim.RecordTrace(w.Profile, insts, seed, path, 0); err != nil {
+		return sim.Summary{}, err
+	}
+	streamed := make([]sim.Job, len(jobs))
+	for i, j := range jobs {
+		j.TraceFile = path
+		streamed[i] = j
+	}
+	start := time.Now()
+	res := runner.Run(streamed)
+	wall := time.Since(start)
+	for i := range streamed {
+		if res[i].Err != nil {
+			return sim.Summary{}, fmt.Errorf("streamed job %s failed: %v", streamed[i].Name, res[i].Err)
+		}
+	}
+	return sim.Summarise(res, wall), nil
 }

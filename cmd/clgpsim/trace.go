@@ -1,0 +1,286 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"clgp/internal/core"
+	"clgp/internal/sim"
+	"clgp/internal/trace"
+	"clgp/internal/tracefile"
+	"clgp/internal/workload"
+)
+
+// cmdTrace dispatches the trace-container subcommands: record a workload's
+// committed trace to disk, inspect a container, extract a SimPoint-style
+// slice, and benchmark the trace I/O path.
+func cmdTrace(args []string) error {
+	if len(args) < 1 {
+		traceUsage()
+		return fmt.Errorf("trace needs a subcommand")
+	}
+	switch args[0] {
+	case "record":
+		return cmdTraceRecord(args[1:])
+	case "info":
+		return cmdTraceInfo(args[1:])
+	case "slice":
+		return cmdTraceSlice(args[1:])
+	case "bench":
+		return cmdTraceBench(args[1:])
+	default:
+		traceUsage()
+		return fmt.Errorf("unknown trace subcommand %q", args[0])
+	}
+}
+
+func traceUsage() {
+	fmt.Fprint(os.Stderr, `clgpsim trace — on-disk trace containers
+
+subcommands:
+  record   walk a workload profile and stream its committed trace to a container
+  info     print a container's header and chunk index
+  slice    extract a record range into a new container (SimPoint interval extraction)
+  bench    measure encode/decode/streamed-engine throughput and emit BENCH json
+`)
+}
+
+func cmdTraceRecord(args []string) error {
+	fs := flag.NewFlagSet("trace record", flag.ExitOnError)
+	profile := fs.String("profile", "gcc", "workload profile to record")
+	insts := fs.Int("insts", 1_000_000, "trace length in instructions")
+	seed := fs.Int64("seed", 1, "workload generation seed")
+	out := fs.String("o", "", "output container path (default <profile>.clgt)")
+	chunk := fs.Int("chunk", 0, "records per chunk (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := workload.ProfileByName(*profile)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = p.Name + ".clgt"
+	}
+	start := time.Now()
+	if _, err := sim.RecordTrace(p, *insts, *seed, path, *chunk); err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d records, %d bytes (%.2f B/record) in %v (%.0f records/sec)\n",
+		path, *insts, st.Size(), float64(st.Size())/float64(*insts),
+		wall.Round(time.Millisecond), float64(*insts)/wall.Seconds())
+	return nil
+}
+
+func cmdTraceInfo(args []string) error {
+	fs := flag.NewFlagSet("trace info", flag.ExitOnError)
+	chunks := fs.Bool("chunks", false, "also list the per-chunk index")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace info needs exactly one container path")
+	}
+	path := fs.Arg(0)
+	rd, err := tracefile.Open(path)
+	if err != nil {
+		return err
+	}
+	defer rd.Close()
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", path)
+	fmt.Printf("  workload:      %s (seed %d)\n", rd.Workload(), rd.Seed())
+	fmt.Printf("  fingerprint:   %#x\n", rd.Fingerprint())
+	fmt.Printf("  records:       %d in %d chunks (%d records/chunk)\n",
+		rd.Len(), rd.NumChunks(), rd.ChunkRecords())
+	if rd.Origin() != 0 {
+		fmt.Printf("  slice origin:  record %d of the full generation\n", rd.Origin())
+	}
+	fmt.Printf("  file size:     %d bytes (%d compressed payload, %.2f B/record)\n",
+		st.Size(), rd.CompressedBytes(), float64(st.Size())/float64(max(rd.Len(), 1)))
+	if *chunks {
+		for i := 0; i < rd.NumChunks(); i++ {
+			ci := rd.Chunk(i)
+			fmt.Printf("  chunk %4d: records [%d,%d) @ offset %d, %d bytes\n",
+				i, ci.FirstRecord, ci.FirstRecord+ci.Records, ci.Offset, ci.CompressedBytes)
+		}
+	}
+	return nil
+}
+
+func cmdTraceSlice(args []string) error {
+	fs := flag.NewFlagSet("trace slice", flag.ExitOnError)
+	from := fs.Int("from", 0, "first record of the slice")
+	count := fs.Int("count", 0, "records in the slice (0 = through the end)")
+	out := fs.String("o", "", "output container path (required)")
+	chunk := fs.Int("chunk", 0, "records per chunk of the slice (0 = same as source)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *out == "" {
+		return fmt.Errorf("trace slice needs -o OUT and exactly one source container")
+	}
+	src, err := tracefile.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	lo := *from
+	hi := src.Len()
+	if *count > 0 {
+		hi = lo + *count
+	}
+	if lo < 0 || hi > src.Len() || lo >= hi {
+		return fmt.Errorf("slice [%d,%d) out of range 0..%d", lo, hi, src.Len())
+	}
+	cr := *chunk
+	if cr == 0 {
+		cr = src.ChunkRecords()
+	}
+	// The slice keeps the source's identity (workload, seed, fingerprint):
+	// it is the same program's trace, just a shorter interval of it — and
+	// the header records where that interval starts, so consumers that need
+	// a from-the-start trace can tell the difference.
+	dst, err := tracefile.Create(*out, tracefile.Options{
+		Workload: src.Workload(), Fingerprint: src.Fingerprint(), Seed: src.Seed(),
+		Origin: src.Origin() + lo, ChunkRecords: cr,
+	})
+	if err != nil {
+		return err
+	}
+	if err := tracefile.Slice(dst, src, lo, hi); err != nil {
+		dst.Close()
+		os.Remove(*out)
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		os.Remove(*out)
+		return err
+	}
+	fmt.Printf("sliced records [%d,%d) of %s into %s\n", lo, hi, fs.Arg(0), *out)
+	return nil
+}
+
+func cmdTraceBench(args []string) error {
+	fs := flag.NewFlagSet("trace bench", flag.ExitOnError)
+	profile := fs.String("profile", "gcc", "workload profile")
+	insts := fs.Int("insts", 500_000, "trace length in instructions")
+	seed := fs.Int64("seed", 1, "workload generation seed")
+	window := fs.Int("window", 0, "streamed-run window cap in records (0 = default)")
+	engine := fs.String("engine", "clgp", "engine for the streamed run")
+	jsonPath := fs.String("json", "BENCH_tracefile.json", "BENCH output path (empty = skip)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := workload.ProfileByName(*profile)
+	if err != nil {
+		return err
+	}
+	ek, err := core.ParseEngineKind(*engine)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "clgp-trace-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, p.Name+".clgt")
+
+	// Encode: workload walk streaming straight to the container, recorded
+	// exactly as production containers are (fingerprint included), so the
+	// streamed run below pays the same validation a real run does.
+	start := time.Now()
+	if _, err := sim.RecordTrace(p, *insts, *seed, path, 0); err != nil {
+		return err
+	}
+	encWall := time.Since(start)
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	encRec := tracefile.ThroughputRecord{
+		Name: "tracefile-encode", Records: *insts, Bytes: st.Size(),
+		BytesPerRecord: float64(st.Size()) / float64(*insts),
+		WallSeconds:    encWall.Seconds(), RecordsPerSec: float64(*insts) / encWall.Seconds(),
+	}
+	fmt.Printf("encode: %d records -> %d bytes (%.2f B/record) in %v (%.0f records/sec)\n",
+		encRec.Records, encRec.Bytes, encRec.BytesPerRecord,
+		encWall.Round(time.Millisecond), encRec.RecordsPerSec)
+
+	// Decode: a full sequential scan through the chunk cache.
+	rd, err := tracefile.Open(path)
+	if err != nil {
+		return err
+	}
+	var batch [4096]trace.Record
+	start = time.Now()
+	for i := 0; i < rd.Len(); {
+		n, err := rd.ReadRecordsAt(i, batch[:])
+		if err != nil {
+			rd.Close()
+			return err
+		}
+		i += n
+	}
+	decWall := time.Since(start)
+	rd.Close()
+	decRec := tracefile.ThroughputRecord{
+		Name: "tracefile-decode", Records: *insts, Bytes: st.Size(),
+		WallSeconds: decWall.Seconds(), RecordsPerSec: float64(*insts) / decWall.Seconds(),
+	}
+	fmt.Printf("decode: %d records in %v (%.0f records/sec)\n",
+		decRec.Records, decWall.Round(time.Millisecond), decRec.RecordsPerSec)
+
+	// Streamed engine: the cycle engine over a bounded window of the file,
+	// opened through the production validation path.
+	sw, rd, err := sim.OpenStreamImage(path)
+	if err != nil {
+		return err
+	}
+	defer rd.Close()
+	wt, err := trace.NewWindowTrace(rd, *window)
+	if err != nil {
+		return err
+	}
+	eng, err := core.NewEngine(core.Config{Engine: ek, L1ISize: 2 << 10}, sw.Dict, wt)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	r, err := eng.Run()
+	if err != nil {
+		return err
+	}
+	runWall := time.Since(start)
+	runRec := tracefile.ThroughputRecord{
+		Name: "engine-streamed", Records: *insts,
+		WallSeconds: runWall.Seconds(), RecordsPerSec: float64(*insts) / runWall.Seconds(),
+		CyclesPerSec: float64(r.Cycles) / runWall.Seconds(),
+		WindowCap:    wt.Cap(),
+		MaxResident:  wt.MaxResident(),
+	}
+	fmt.Printf("stream: %s over %d records in %v (%.0f cycles/sec, window %d, max resident %d)\n",
+		ek, *insts, runWall.Round(time.Millisecond), runRec.CyclesPerSec, runRec.WindowCap, runRec.MaxResident)
+
+	if *jsonPath != "" {
+		recs := []tracefile.ThroughputRecord{encRec, decRec, runRec}
+		if err := tracefile.WriteBenchJSON(*jsonPath, recs); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}

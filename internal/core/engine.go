@@ -10,7 +10,6 @@ import (
 	"clgp/internal/pipeline"
 	"clgp/internal/prefetch"
 	"clgp/internal/stats"
-	"clgp/internal/trace"
 )
 
 // Engine is the simulated processor: the trace-driven, wrong-path-capable
@@ -42,7 +41,7 @@ type Engine struct {
 	backend *pipeline.Backend
 	pred    *bpred.Predictor
 	dict    *isa.Dictionary
-	tr      *trace.MemTrace
+	tr      TraceSource
 
 	cycle     uint64
 	seq       uint64 // dynamic instruction sequence numbers (from 1)
@@ -127,8 +126,10 @@ const dispatchQueueCap = 64
 const blockMetaRing = 64
 
 // NewEngine builds a simulator for one configuration over a program image
-// and its committed trace.
-func NewEngine(cfg Config, dict *isa.Dictionary, tr *trace.MemTrace) (*Engine, error) {
+// and its committed trace. The trace may be fully materialised
+// (trace.MemTrace) or windowed over an on-disk container
+// (trace.WindowTrace); the engine only requires the TraceSource contract.
+func NewEngine(cfg Config, dict *isa.Dictionary, tr TraceSource) (*Engine, error) {
 	cfg, err := cfg.normalise()
 	if err != nil {
 		return nil, err
@@ -186,7 +187,7 @@ func NewEngine(cfg Config, dict *isa.Dictionary, tr *trace.MemTrace) (*Engine, e
 }
 
 // MustNewEngine is NewEngine but panics on configuration errors.
-func MustNewEngine(cfg Config, dict *isa.Dictionary, tr *trace.MemTrace) *Engine {
+func MustNewEngine(cfg Config, dict *isa.Dictionary, tr TraceSource) *Engine {
 	e, err := NewEngine(cfg, dict, tr)
 	if err != nil {
 		panic(err)
@@ -261,6 +262,9 @@ func (e *Engine) Step() bool {
 	if resolved != nil {
 		e.recoverFromMisprediction(now)
 	}
+	// Committed records are dead to the engine; let windowed trace sources
+	// evict them.
+	e.tr.Advance(int(e.backend.Committed()))
 	// 4. Release abandoned wrong-path demand fetches that completed.
 	e.sweepDrain(now)
 	// 5. Fetch: finish the in-flight line, start the next one.

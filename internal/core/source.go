@@ -1,0 +1,29 @@
+package core
+
+import "clgp/internal/trace"
+
+// TraceSource is the narrow view of the committed-path trace the engine
+// actually needs. The cycle loop's access pattern is a bounded sliding
+// window: the prediction stage reads monotonically forward from its cursor
+// (plus at most one maximum-length stream of lookahead), the delivery stage
+// lags behind it down to the commit point, and nothing is ever read again
+// once it has committed. The engine reports that commit frontier through
+// Advance every cycle, which is what lets a windowed implementation evict
+// and keep a paper-scale trace in bounded memory.
+//
+// trace.MemTrace satisfies the interface trivially (Advance is a no-op);
+// trace.WindowTrace satisfies it over any streaming container, e.g. a
+// tracefile.Reader.
+type TraceSource interface {
+	// At returns record i. i must lie in [frontier, Len), where frontier is
+	// the largest value passed to Advance: the engine never reads behind
+	// the commit point, and windowed sources may panic if asked to.
+	At(i int) trace.Record
+	// Len returns the definite total record count (the engine sizes its
+	// commit target from it; indefinite lengths are not allowed).
+	Len() int
+	// Advance reports that records below frontier have committed and will
+	// never be read again; windowed sources use it as their eviction
+	// frontier. Calls are monotonic and cheap (once per cycle).
+	Advance(frontier int)
+}

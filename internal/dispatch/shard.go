@@ -11,6 +11,7 @@ import (
 
 	"clgp/internal/sim"
 	"clgp/internal/stats"
+	"clgp/internal/tracefile"
 	"clgp/internal/workload"
 )
 
@@ -59,7 +60,10 @@ func recordFromResult(spec JobSpec, res sim.Result) RunRecord {
 	return rec
 }
 
-// workloadCache generates each distinct workload once per shard run.
+// workloadCache generates each distinct workload once per shard run. For
+// streamed specs it builds (and validates the trace file against) only the
+// program image: the trace itself is windowed per job by the sim layer, so
+// the shard never materialises or regenerates the full record stream.
 type workloadCache map[string]*workload.Workload
 
 func (wc workloadCache) get(spec JobSpec) (*workload.Workload, error) {
@@ -71,12 +75,54 @@ func (wc workloadCache) get(spec JobSpec) (*workload.Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err := workload.Generate(p, spec.Insts, spec.Seed)
-	if err != nil {
-		return nil, err
+	var w *workload.Workload
+	if spec.TraceFile != "" {
+		dict, err := workload.BuildImage(p, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		w = &workload.Workload{Name: p.Name, Profile: p, Dict: dict}
+		if err := validateTraceFile(spec, w); err != nil {
+			return nil, err
+		}
+	} else {
+		w, err = workload.Generate(p, spec.Insts, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
 	}
 	wc[key] = w
 	return w, nil
+}
+
+// validateTraceFile checks a streamed spec's container against the spec
+// before any simulation starts: the shared stream validation (workload name
+// + generation fingerprint) plus the exact record count, so a shard pointed
+// at the wrong (or differently sized) trace fails up front instead of
+// producing results that silently disagree with the regenerating path.
+func validateTraceFile(spec JobSpec, w *workload.Workload) error {
+	rd, err := tracefile.Open(spec.TraceFile)
+	if err != nil {
+		return err
+	}
+	defer rd.Close()
+	if err := sim.ValidateStream(rd, w); err != nil {
+		return fmt.Errorf("dispatch: trace file %s: %w", spec.TraceFile, err)
+	}
+	// Grid specs describe a generation from record 0: a mid-trace slice
+	// holds real records of the right workload but a different interval
+	// than regenerating (profile, insts, seed) would walk, so results would
+	// silently disagree with the regenerating path. Run slices through
+	// `clgpsim run -tracefile` instead.
+	if rd.Origin() != 0 {
+		return fmt.Errorf("dispatch: trace file %s is a mid-trace slice starting at record %d; grid specs need a from-the-start recording",
+			spec.TraceFile, rd.Origin())
+	}
+	if rd.Len() != spec.Insts {
+		return fmt.Errorf("dispatch: trace file %s holds %d records, spec wants %d",
+			spec.TraceFile, rd.Len(), spec.Insts)
+	}
+	return nil
 }
 
 // RunShard executes shard id of the manifest with the given sim worker-pool

@@ -35,6 +35,14 @@ type JobSpec struct {
 	Insts int `json:"insts"`
 	// Seed is the workload generation seed.
 	Seed int64 `json:"seed"`
+	// TraceFile, when non-empty, streams the committed trace from a shared
+	// recorded trace container instead of regenerating (walking) the
+	// workload: workers rebuild only the program image from (Profile, Seed)
+	// and window the records from the file. The container must hold exactly
+	// Insts records and carry the matching image hash.
+	TraceFile string `json:"trace_file,omitempty"`
+	// Window caps resident records when streaming (0 = default).
+	Window int `json:"window,omitempty"`
 
 	// Tech is the technology node name (cacti.ParseTech form, e.g. "0.09um").
 	Tech string `json:"tech"`
@@ -83,9 +91,10 @@ func (s JobSpec) Name() string {
 
 // WorkloadKey identifies the workload the job runs against. Jobs with equal
 // keys can share one generated workload, so the shard planner keeps them
-// together.
+// together. Streamed jobs share only the program image (each engine windows
+// its own reader), which the key also covers.
 func (s JobSpec) WorkloadKey() string {
-	return fmt.Sprintf("%s/%d/%d", s.Profile, s.Insts, s.Seed)
+	return fmt.Sprintf("%s/%d/%d/%s", s.Profile, s.Insts, s.Seed, s.TraceFile)
 }
 
 // Config builds the processor configuration for the spec.
@@ -109,13 +118,15 @@ func (s JobSpec) Config() (core.Config, error) {
 	}, nil
 }
 
-// SimJob binds the spec to an already generated workload.
+// SimJob binds the spec to an already generated workload (or, for streamed
+// specs, to a program image whose trace the sim layer windows from the
+// spec's trace file).
 func (s JobSpec) SimJob(w *workload.Workload) (sim.Job, error) {
 	cfg, err := s.Config()
 	if err != nil {
 		return sim.Job{}, err
 	}
-	return sim.Job{Name: cfg.Name, Config: cfg, Workload: w}, nil
+	return sim.Job{Name: cfg.Name, Config: cfg, Workload: w, TraceFile: s.TraceFile, Window: s.Window}, nil
 }
 
 // GridConfig enumerates a paper evaluation grid.
@@ -140,6 +151,12 @@ type GridConfig struct {
 	IncludeIdeal bool
 	// MaxInsts bounds committed instructions per run (0 = whole trace).
 	MaxInsts int
+	// TraceFile streams every job's trace from one shared recorded
+	// container instead of regenerating workloads per shard. A trace file
+	// records one workload, so the grid must name exactly one profile.
+	TraceFile string
+	// Window caps resident records when streaming (0 = default).
+	Window int
 }
 
 // GridSpecs enumerates the grid deterministically, workload-major (all jobs
@@ -152,6 +169,9 @@ func GridSpecs(gc GridConfig) ([]JobSpec, error) {
 	profiles := gc.Profiles
 	if len(profiles) == 0 {
 		profiles = workload.ProfileNames()
+	}
+	if gc.TraceFile != "" && len(profiles) != 1 {
+		return nil, fmt.Errorf("dispatch: a shared trace file records one workload; the grid names %d profiles", len(profiles))
 	}
 	techs := gc.Techs
 	if len(techs) == 0 {
@@ -185,6 +205,7 @@ func GridSpecs(gc GridConfig) ([]JobSpec, error) {
 					for _, size := range sizes {
 						err := add(JobSpec{
 							Profile: prof, Insts: gc.Insts, Seed: gc.Seed,
+							TraceFile: gc.TraceFile, Window: gc.Window,
 							Tech: tech.String(), Engine: eng.String(),
 							L1Size: size, UseL0: l0, MaxInsts: gc.MaxInsts,
 						})
@@ -198,6 +219,7 @@ func GridSpecs(gc GridConfig) ([]JobSpec, error) {
 				for _, size := range sizes {
 					err := add(JobSpec{
 						Profile: prof, Insts: gc.Insts, Seed: gc.Seed,
+						TraceFile: gc.TraceFile, Window: gc.Window,
 						Tech: tech.String(), Engine: core.EngineNone.String(),
 						L1Size: size, Ideal: true, MaxInsts: gc.MaxInsts,
 					})

@@ -1,7 +1,10 @@
 package isa
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
 )
 
@@ -135,6 +138,37 @@ func (d *Dictionary) Lines(lineSize int) []Addr {
 		}
 	}
 	return out
+}
+
+// Hash returns a deterministic fingerprint of the program image: the entry
+// point plus every basic block's address and instruction fields, folded
+// with FNV-1a in ascending block order. Trace containers store it so a
+// streamed run can verify that the image it regenerated from (profile,
+// seed) is the one the trace was captured against, instead of silently
+// driving the wrong program.
+func (d *Dictionary) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(d.entryPoint))
+	for _, bb := range d.Blocks() {
+		put(uint64(bb.Start))
+		put(uint64(len(bb.Insts)))
+		for i := range bb.Insts {
+			si := &bb.Insts[i]
+			put(uint64(si.Target))
+			packed := uint64(si.Class) | uint64(si.Src1)<<8 | uint64(si.Src2)<<16 | uint64(si.Dst)<<24
+			if si.Noisy {
+				packed |= 1 << 32
+			}
+			put(packed)
+			put(math.Float64bits(si.TakenBias))
+		}
+	}
+	return h.Sum64()
 }
 
 // NextPC returns the address that control flows to from pc when the control

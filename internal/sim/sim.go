@@ -20,7 +20,10 @@ import (
 
 	"clgp/internal/cacti"
 	"clgp/internal/core"
+	"clgp/internal/isa"
 	"clgp/internal/stats"
+	"clgp/internal/trace"
+	"clgp/internal/tracefile"
 	"clgp/internal/workload"
 )
 
@@ -32,8 +35,17 @@ type Job struct {
 	Name string
 	// Config is the processor configuration.
 	Config core.Config
-	// Workload provides the program image and committed trace.
+	// Workload provides the program image and (unless TraceFile is set) the
+	// committed trace.
 	Workload *workload.Workload
+	// TraceFile, when non-empty, streams the committed trace from a
+	// recorded trace container (internal/tracefile) through a bounded
+	// window instead of Workload.Trace; Workload then only supplies the
+	// program image, whose Hash must match the container header.
+	TraceFile string
+	// Window caps the resident records of a streamed trace
+	// (0 = trace.DefaultWindowCap). Ignored without TraceFile.
+	Window int
 }
 
 // Result is the outcome of one job.
@@ -114,7 +126,12 @@ func runOne(j Job) Result {
 	if j.Workload == nil {
 		return Result{Name: name, Err: fmt.Errorf("sim %s: no workload", name)}
 	}
-	eng, err := core.NewEngine(j.Config, j.Workload.Dict, j.Workload.Trace)
+	src, cleanup, err := j.traceSource()
+	if err != nil {
+		return Result{Name: name, Err: err}
+	}
+	defer cleanup()
+	eng, err := core.NewEngine(j.Config, j.Workload.Dict, src)
 	if err != nil {
 		return Result{Name: name, Err: err}
 	}
@@ -126,6 +143,111 @@ func runOne(j Job) Result {
 		st.Name = name
 	}
 	return Result{Name: st.Name, Stats: st, Wall: time.Since(start)}
+}
+
+// traceSource resolves the job's committed-path trace: the in-memory
+// workload trace, or a bounded-window stream over the job's trace file. The
+// returned cleanup releases the file handle after the run.
+func (j Job) traceSource() (core.TraceSource, func(), error) {
+	noop := func() {}
+	if j.TraceFile == "" {
+		if j.Workload.Trace == nil {
+			return nil, noop, fmt.Errorf("sim: workload %s has no trace and the job names no trace file", j.Workload.Name)
+		}
+		return j.Workload.Trace, noop, nil
+	}
+	rd, err := tracefile.Open(j.TraceFile)
+	if err != nil {
+		return nil, noop, err
+	}
+	if err := ValidateStream(rd, j.Workload); err != nil {
+		rd.Close()
+		return nil, noop, fmt.Errorf("sim: trace file %s: %w", j.TraceFile, err)
+	}
+	wt, err := trace.NewWindowTrace(rd, j.Window)
+	if err != nil {
+		rd.Close()
+		return nil, noop, err
+	}
+	return wt, func() { rd.Close() }, nil
+}
+
+// ValidateStream is the one check every streaming consumer applies before a
+// container drives a simulation: the container must name the workload it is
+// about to stand in for, and its fingerprint must match what regenerating
+// that workload would produce — same program image AND same walk
+// parameters, so a container recorded before a profile retune is rejected
+// instead of silently disagreeing with the regenerating path.
+func ValidateStream(rd *tracefile.Reader, w *workload.Workload) error {
+	if rd.Workload() != w.Name {
+		return fmt.Errorf("records workload %q, the run wants %q", rd.Workload(), w.Name)
+	}
+	if fp := workload.Fingerprint(w.Profile, w.Dict); rd.Fingerprint() != 0 && rd.Fingerprint() != fp {
+		return fmt.Errorf("recorded against a different program image or walk parameters (fingerprint %#x, regenerated %#x)",
+			rd.Fingerprint(), fp)
+	}
+	return nil
+}
+
+// RecordTrace walks (p, insts, seed) and streams every record straight into
+// a new container at path, recorded the one way streaming consumers expect
+// — workload name, generation seed and fingerprint in the header — in
+// constant memory. A partial file is removed on error. It returns the
+// program image the trace was captured against. chunkRecords 0 selects the
+// format default.
+func RecordTrace(p workload.Profile, insts int, seed int64, path string, chunkRecords int) (*isa.Dictionary, error) {
+	// The image build is cheap and consumes the head of the same seeded RNG
+	// stream the walk continues on, so fingerprinting it first and
+	// regenerating it inside GenerateTo yields the identical image.
+	dict, err := workload.BuildImage(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	w, err := tracefile.Create(path, tracefile.Options{
+		Workload: p.Name, Fingerprint: workload.Fingerprint(p, dict), Seed: seed,
+		ChunkRecords: chunkRecords,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := workload.GenerateTo(p, insts, seed, w); err != nil {
+		w.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	return dict, nil
+}
+
+// OpenStreamImage opens a trace container and rebuilds the program image it
+// was recorded against from the (workload, seed) stored in the header,
+// validating the stream. The returned workload carries only the image — its
+// trace stays on disk, to be windowed per engine by the caller, who also
+// owns closing the reader.
+func OpenStreamImage(path string) (*workload.Workload, *tracefile.Reader, error) {
+	rd, err := tracefile.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := workload.ProfileByName(rd.Workload())
+	if err != nil {
+		rd.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	dict, err := workload.BuildImage(p, rd.Seed())
+	if err != nil {
+		rd.Close()
+		return nil, nil, err
+	}
+	w := &workload.Workload{Name: p.Name, Profile: p, Dict: dict}
+	if err := ValidateStream(rd, w); err != nil {
+		rd.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return w, rd, nil
 }
 
 // JobName builds the canonical job label shared by the sweep and dispatch

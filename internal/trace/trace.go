@@ -39,8 +39,13 @@ type Trace interface {
 	Next() (r Record, ok bool)
 	// Reset rewinds the trace to its first record.
 	Reset()
-	// Len returns the total number of records, or a negative value when the
-	// length is unknown (e.g. a streaming reader).
+	// Len returns the total number of records. The length is always
+	// definite: consumers (the engine sizes its commit target from it, the
+	// SimPoint profiler sizes its intervals) call Len unconditionally, so
+	// an "unknown length" sentinel would be unusable. Streaming
+	// implementations must recover the exact count from their container —
+	// WindowTrace reports it from the tracefile footer index without
+	// decoding any records.
 	Len() int
 }
 
@@ -71,6 +76,11 @@ func (t *MemTrace) Reset() { t.pos = 0 }
 
 // Len implements Trace.
 func (t *MemTrace) Len() int { return len(t.recs) }
+
+// Advance is the window-advance hook of the engine's trace-source contract
+// (core.TraceSource): records below frontier will never be read again. An
+// in-memory trace keeps everything resident, so it is a no-op.
+func (t *MemTrace) Advance(frontier int) {}
 
 // Records returns the underlying record slice (not a copy).
 func (t *MemTrace) Records() []Record { return t.recs }

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"clgp/internal/isa"
+)
+
+// sliceSource is a RecordReaderAt over an in-memory slice that deliberately
+// returns short reads (at most batch records per call) to exercise the
+// window's partial-fill path.
+type sliceSource struct {
+	recs  []Record
+	batch int
+	reads int
+}
+
+func (s *sliceSource) Len() int { return len(s.recs) }
+
+func (s *sliceSource) ReadRecordsAt(lo int, dst []Record) (int, error) {
+	n := copy(dst, s.recs[lo:])
+	if s.batch > 0 && n > s.batch {
+		n = s.batch
+	}
+	s.reads++
+	return n, nil
+}
+
+func windowRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{PC: isa.Addr(0x1000 + 4*i), Target: isa.Addr(0x1000 + 4*(i+1))}
+	}
+	return recs
+}
+
+// TestWindowTraceServesEnginePattern drives the window with the engine's
+// access shape — a leading cursor, lagging re-reads down to the commit
+// frontier, frontier advances — and checks contents plus the residency cap.
+func TestWindowTraceServesEnginePattern(t *testing.T) {
+	recs := windowRecords(100_000)
+	src := &sliceSource{recs: recs, batch: 777}
+	const cap = MinWindowCap
+	wt, err := NewWindowTrace(src, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", wt.Len(), len(recs))
+	}
+	const lag = 512 // distance between the commit frontier and the cursor
+	for i := 0; i < len(recs); i++ {
+		if got := wt.At(i); got != recs[i] {
+			t.Fatalf("At(%d) = %+v, want %+v", i, got, recs[i])
+		}
+		// Lagging delivery read, like the engine re-reading a block's
+		// records between the frontier and the cursor.
+		if i >= lag {
+			back := i - lag
+			if got := wt.At(back); got != recs[back] {
+				t.Fatalf("lagging At(%d) = %+v, want %+v", back, got, recs[back])
+			}
+			wt.Advance(back + 1)
+		}
+	}
+	if wt.MaxResident() > cap {
+		t.Errorf("max resident %d exceeds cap %d", wt.MaxResident(), cap)
+	}
+	if wt.Cap() != cap {
+		t.Errorf("Cap = %d, want %d", wt.Cap(), cap)
+	}
+	if wt.SourceReads() == 0 {
+		t.Errorf("no source reads recorded")
+	}
+}
+
+func TestWindowTraceEvictedReadPanics(t *testing.T) {
+	src := &sliceSource{recs: windowRecords(3 * MinWindowCap)}
+	wt, err := NewWindowTrace(src, MinWindowCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk far enough that record 0 must have been evicted.
+	for i := 0; i < 2*MinWindowCap; i++ {
+		wt.At(i)
+		wt.Advance(i)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("reading an evicted record did not panic")
+		}
+		if !strings.Contains(r.(string), "evicted") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	wt.At(0)
+}
+
+func TestWindowTraceExhaustionPanics(t *testing.T) {
+	src := &sliceSource{recs: windowRecords(3 * MinWindowCap)}
+	wt, err := NewWindowTrace(src, MinWindowCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("overrunning the window without advancing did not panic")
+		}
+		if !strings.Contains(r.(string), "window cap") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	// Never advancing the frontier pins every record; the read past the cap
+	// must refuse rather than evict uncommitted records.
+	for i := 0; i < 2*MinWindowCap; i++ {
+		wt.At(i)
+	}
+}
+
+func TestWindowTraceRejectsTinyCap(t *testing.T) {
+	src := &sliceSource{recs: windowRecords(10)}
+	if _, err := NewWindowTrace(src, MinWindowCap-1); err == nil {
+		t.Error("cap below MinWindowCap accepted")
+	}
+	// Cap 0 selects the default; a short source clamps it to its length.
+	wt, err := NewWindowTrace(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.Cap() != 10 {
+		t.Errorf("short-source Cap = %d, want 10", wt.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		wt.At(i)
+	}
+}
+
+func TestWindowTraceFrontierIsMonotonic(t *testing.T) {
+	src := &sliceSource{recs: windowRecords(3 * MinWindowCap)}
+	wt, err := NewWindowTrace(src, MinWindowCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*MinWindowCap; i++ {
+		wt.At(i)
+		wt.Advance(i)
+		wt.Advance(0) // a regression must not resurrect evicted records
+	}
+	if wt.MaxResident() > MinWindowCap {
+		t.Errorf("max resident %d exceeds cap", wt.MaxResident())
+	}
+}

@@ -1,0 +1,47 @@
+package tracefile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ThroughputRecord is one trace-I/O throughput measurement in the
+// BENCH_*.json format the perf harness emits (mirroring sim.BenchRecord for
+// the simulation side). The optional cycle fields are used by the
+// streamed-engine record, which measures the cycle engine running over a
+// windowed trace file instead of an in-memory trace.
+type ThroughputRecord struct {
+	// Name identifies the measured operation (e.g. "tracefile-encode").
+	Name string `json:"name"`
+	// Records is the number of trace records processed.
+	Records int `json:"records"`
+	// Bytes is the resulting (or consumed) file size in bytes.
+	Bytes int64 `json:"bytes,omitempty"`
+	// BytesPerRecord is the on-disk density.
+	BytesPerRecord float64 `json:"bytes_per_record,omitempty"`
+	// WallSeconds is the measured wall-clock time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// RecordsPerSec is the record throughput.
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// CyclesPerSec is the simulated-cycle throughput of a streamed engine
+	// run (zero for pure encode/decode records).
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	// WindowCap and MaxResident report the streaming window of a streamed
+	// engine run: the configured cap and the high-water mark actually used.
+	WindowCap   int `json:"window_cap,omitempty"`
+	MaxResident int `json:"max_resident,omitempty"`
+}
+
+// WriteBenchJSON writes records as an indented JSON array to path.
+func WriteBenchJSON(path string, recs []ThroughputRecord) error {
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tracefile: encoding bench records: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("tracefile: writing %s: %w", path, err)
+	}
+	return nil
+}

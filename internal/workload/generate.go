@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
@@ -39,10 +40,75 @@ type program struct {
 	leafEntry []isa.Addr // entry of each leaf function
 }
 
+// RecordSink consumes trace records in commit order. tracefile.Writer
+// implements it, so a walked trace can stream straight to disk without ever
+// being materialised in memory.
+type RecordSink interface {
+	Write(r trace.Record) error
+}
+
 // Generate builds the static program for profile p and walks it to produce
 // a dynamic trace of numInsts instructions. The same (profile, numInsts,
 // seed) triple always produces the same workload.
 func Generate(p Profile, numInsts int, seed int64) (*Workload, error) {
+	tr := trace.NewMemTrace(make([]trace.Record, 0, numInsts))
+	dict, err := generate(p, numInsts, seed, func(r trace.Record) error {
+		tr.Append(r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Name: p.Name, Profile: p, Dict: dict, Trace: tr}, nil
+}
+
+// GenerateTo walks the program for (p, numInsts, seed) and emits every
+// record to sink instead of materialising the trace, so arbitrarily long
+// traces can be recorded in constant memory. It produces bit-identical
+// records to Generate for the same triple (the walk is shared) and returns
+// the program image, which is likewise identical to BuildImage's.
+func GenerateTo(p Profile, numInsts int, seed int64, sink RecordSink) (*isa.Dictionary, error) {
+	return generate(p, numInsts, seed, sink.Write)
+}
+
+// Fingerprint identifies the exact record stream a (profile, image) pair
+// generates: the program-image hash folded with every profile parameter.
+// The image hash alone is not enough — walk-only parameters (address mix,
+// branch biases) never reach the image, so tuning them leaves
+// isa.Dictionary.Hash unchanged while changing every generated record.
+// Trace containers store this fingerprint, and streaming consumers verify
+// it, so a container recorded before a profile retune is rejected instead
+// of silently disagreeing with the regenerating path.
+func Fingerprint(p Profile, dict *isa.Dictionary) uint64 {
+	h := fnv.New64a()
+	// Profile is a flat struct of scalars, so its %+v rendering is a
+	// deterministic, collision-practical encoding that automatically picks
+	// up future walk parameters.
+	fmt.Fprintf(h, "%+v|%#x", p, dict.Hash())
+	return h.Sum64()
+}
+
+// BuildImage builds only the static program image for (p, seed): the same
+// dictionary Generate produces, without the cost of walking a trace. Used
+// by consumers that stream a recorded trace and only need the image (and
+// its Hash) to simulate against.
+func BuildImage(p Profile, seed int64) (*isa.Dictionary, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prog, err := buildProgram(p, rng)
+	if err != nil {
+		return nil, err
+	}
+	return prog.dict, nil
+}
+
+// generate is the shared build-then-walk pipeline behind Generate and
+// GenerateTo. The program build consumes the head of the seeded RNG stream
+// and the walk continues on the same stream, so image and trace are jointly
+// deterministic in (p, numInsts, seed).
+func generate(p Profile, numInsts int, seed int64, emit func(trace.Record) error) (*isa.Dictionary, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -54,11 +120,10 @@ func Generate(p Profile, numInsts int, seed int64) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr, err := walk(p, prog, numInsts, rng)
-	if err != nil {
+	if err := walk(p, prog, numInsts, rng, emit); err != nil {
 		return nil, err
 	}
-	return &Workload{Name: p.Name, Profile: p, Dict: prog.dict, Trace: tr}, nil
+	return prog.dict, nil
 }
 
 // MustGenerate is Generate but panics on error; for presets with static
@@ -376,27 +441,52 @@ func buildProgram(p Profile, rng *rand.Rand) (*program, error) {
 }
 
 // dataState generates load/store effective addresses: a sequential pointer
-// that strides through the data segment plus a fraction of random accesses
-// over the whole footprint.
+// that strides through the data segment, a fraction of random accesses over
+// the whole footprint, and (for data-bound profiles like mcf/twolf) a
+// pointer-chase chain whose next address is a deterministic function of the
+// previous chase address — the serial dependent-miss pattern of linked-data
+// traversals, as opposed to the i.i.d. random draw.
 type dataState struct {
 	footprint isa.Addr
 	seqPtr    isa.Addr
 	randFrac  float64
+
+	chaseFrac  float64
+	chaseNodes uint64 // 8-byte nodes in the footprint
+	chaseIdx   uint64 // current chain position
 }
 
 func newDataState(p Profile) *dataState {
 	return &dataState{
-		footprint: isa.Addr(p.DataFootprintKB) * 1024,
-		randFrac:  p.RandomAccessFrac,
+		footprint:  isa.Addr(p.DataFootprintKB) * 1024,
+		randFrac:   p.RandomAccessFrac,
+		chaseFrac:  p.PointerChaseFrac,
+		chaseNodes: uint64(p.DataFootprintKB) * 1024 / 8,
 	}
 }
 
+// chaseStep is the multiplicative step of the pointer-chase chain (Knuth's
+// MMIX LCG constants); quality does not matter, only that successive nodes
+// are serially dependent, deterministic, and scatter over the footprint.
+const (
+	chaseMul = 6364136223846793005
+	chaseInc = 1442695040888963407
+)
+
 func (ds *dataState) next(rng *rand.Rand) isa.Addr {
-	if rng.Float64() < ds.randFrac {
+	// A single draw partitions the modes, so profiles without a chase
+	// fraction reproduce the exact pre-chase address streams.
+	r := rng.Float64()
+	switch {
+	case r < ds.chaseFrac:
+		ds.chaseIdx = (ds.chaseIdx*chaseMul + chaseInc) % ds.chaseNodes
+		return DataBase + isa.Addr(ds.chaseIdx)*8
+	case r < ds.chaseFrac+ds.randFrac:
 		return DataBase + isa.Addr(rng.Int63n(int64(ds.footprint)))&^7
+	default:
+		ds.seqPtr = (ds.seqPtr + 8) % ds.footprint
+		return DataBase + ds.seqPtr
 	}
-	ds.seqPtr = (ds.seqPtr + 8) % ds.footprint
-	return DataBase + ds.seqPtr
 }
 
 // Branch outcomes are not drawn i.i.d. per dynamic instance: real branches
@@ -483,18 +573,18 @@ func (bs *branchState) nextOutcome(si *isa.StaticInst, rng *rand.Rand) bool {
 	}
 }
 
-// walk executes the program dynamically, producing the correct-path trace.
-func walk(p Profile, prog *program, numInsts int, rng *rand.Rand) (*trace.MemTrace, error) {
-	tr := trace.NewMemTrace(make([]trace.Record, 0, numInsts))
+// walk executes the program dynamically, emitting the correct-path trace
+// record by record.
+func walk(p Profile, prog *program, numInsts int, rng *rand.Rand, emit func(trace.Record) error) error {
 	ds := newDataState(p)
 	pc := prog.dict.Entry()
 	var callStack []isa.Addr
 	branches := make(map[isa.Addr]*branchState)
 
-	for tr.Len() < numInsts {
+	for emitted := 0; emitted < numInsts; emitted++ {
 		si := prog.dict.Inst(pc)
 		if si == nil {
-			return nil, fmt.Errorf("workload %s: walked off the program image at %#x", p.Name, pc)
+			return fmt.Errorf("workload %s: walked off the program image at %#x", p.Name, pc)
 		}
 		rec := trace.Record{PC: pc}
 		if si.Class.IsMem() {
@@ -545,8 +635,10 @@ func walk(p Profile, prog *program, numInsts int, rng *rand.Rand) (*trace.MemTra
 		default:
 			rec.Target = si.FallThrough()
 		}
-		tr.Append(rec)
+		if err := emit(rec); err != nil {
+			return fmt.Errorf("workload %s: emitting record %d: %w", p.Name, emitted, err)
+		}
 		pc = rec.Target
 	}
-	return tr, nil
+	return nil
 }

@@ -70,6 +70,14 @@ type Profile struct {
 	// random address in the data footprint (the rest stride sequentially
 	// and mostly hit in the 32KB D-cache).
 	RandomAccessFrac float64
+	// PointerChaseFrac is the fraction of memory accesses that follow a
+	// serial pointer chain through the footprint: each chase address is a
+	// deterministic function of the previous one, modelling the dependent
+	// cache misses of linked-data traversals (mcf's network simplex,
+	// twolf's netlists) that no amount of bandwidth hides. Unlike the
+	// i.i.d. random draw, the chain makes consecutive chase accesses
+	// serially correlated in the generated stream.
+	PointerChaseFrac float64
 	// DepDensity is the probability that an instruction's source register
 	// was written by one of the few preceding instructions (higher = less
 	// ILP available to the back-end).
@@ -104,6 +112,7 @@ func (p Profile) Validate() error {
 		{"MulFrac", p.MulFrac},
 		{"FPFrac", p.FPFrac},
 		{"RandomAccessFrac", p.RandomAccessFrac},
+		{"PointerChaseFrac", p.PointerChaseFrac},
 		{"DepDensity", p.DepDensity},
 	} {
 		if frac.v < 0 || frac.v > 1 {
@@ -112,6 +121,10 @@ func (p Profile) Validate() error {
 	}
 	if p.LoadFrac+p.StoreFrac > 0.9 {
 		return fmt.Errorf("workload %s: load+store fraction too high (%g)", p.Name, p.LoadFrac+p.StoreFrac)
+	}
+	if p.RandomAccessFrac+p.PointerChaseFrac > 1 {
+		return fmt.Errorf("workload %s: random+pointer-chase fraction exceeds 1 (%g)",
+			p.Name, p.RandomAccessFrac+p.PointerChaseFrac)
 	}
 	if p.DataFootprintKB <= 0 {
 		return fmt.Errorf("workload %s: DataFootprintKB must be positive", p.Name)
@@ -150,7 +163,7 @@ var builtinProfiles = []Profile{
 		Name: "mcf", HotCodeKB: 2, FuncBlocks: 16, AvgBlockInsts: 6, LeafFuncs: 2,
 		LoopTakenBias: 0.90, ForwardTakenBias: 0.40, NoisyBranchFrac: 0.16, NoisyTakenBias: 0.5,
 		CallFrac: 0.05, SkewFactor: 1.4, LoadFrac: 0.33, StoreFrac: 0.09, MulFrac: 0.02, FPFrac: 0.0,
-		DataFootprintKB: 65536, RandomAccessFrac: 0.65, DepDensity: 0.60,
+		DataFootprintKB: 65536, RandomAccessFrac: 0.25, PointerChaseFrac: 0.45, DepDensity: 0.60,
 	},
 	{
 		Name: "crafty", HotCodeKB: 24, FuncBlocks: 26, AvgBlockInsts: 7, LeafFuncs: 5,
@@ -198,7 +211,7 @@ var builtinProfiles = []Profile{
 		Name: "twolf", HotCodeKB: 12, FuncBlocks: 20, AvgBlockInsts: 6, LeafFuncs: 4,
 		LoopTakenBias: 0.89, ForwardTakenBias: 0.40, NoisyBranchFrac: 0.15, NoisyTakenBias: 0.55,
 		CallFrac: 0.08, SkewFactor: 1.0, LoadFrac: 0.28, StoreFrac: 0.09, MulFrac: 0.03, FPFrac: 0.05,
-		DataFootprintKB: 2048, RandomAccessFrac: 0.30, DepDensity: 0.50,
+		DataFootprintKB: 2048, RandomAccessFrac: 0.15, PointerChaseFrac: 0.20, DepDensity: 0.50,
 	},
 }
 
