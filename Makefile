@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke run sweep figures stream-smoke clean
+.PHONY: all build test test-race vet bench bench-smoke run sweep figures stream-smoke remote-smoke clean
 
 all: vet build test
 
@@ -48,6 +48,21 @@ stream-smoke:
 	grep -v -e "wall time" -e "trace window" /tmp/clgp-smoke-str-full.txt > /tmp/clgp-smoke-str.txt
 	diff /tmp/clgp-smoke-mem.txt /tmp/clgp-smoke-str.txt
 	$(GO) run ./cmd/clgpsim trace bench -profile gzip -insts 100000 -json BENCH_tracefile.json
+
+# The multi-host dispatch protocol on one machine: an HTTP object store,
+# child workers pointed at the URL, merged figures diffed against the
+# in-process run. Mirrors CI's remote-smoke job.
+remote-smoke:
+	rm -rf /tmp/clgp-remote-smoke && mkdir -p /tmp/clgp-remote-smoke
+	$(GO) build -o /tmp/clgp-remote-smoke/clgpsim ./cmd/clgpsim
+	cd /tmp/clgp-remote-smoke && ./clgpsim figures -insts 20000 -profiles gzip,mcf -dir fig-local
+	cd /tmp/clgp-remote-smoke && { ./clgpsim store serve -dir store-root -addr 127.0.0.1:0 -addr-file addr.txt & echo $$! > server.pid; } && \
+	for i in $$(seq 1 50); do [ -s addr.txt ] && break; sleep 0.1; done
+	cd /tmp/clgp-remote-smoke && trap 'kill $$(cat server.pid) 2>/dev/null || true' EXIT && \
+		./clgpsim figures -insts 20000 -profiles gzip,mcf \
+			-store "http://$$(cat addr.txt)" -exec -retries 2 -dir fig-remote -json BENCH_dispatch.json && \
+		diff fig-local/figure6_ipc_90nm.csv fig-remote/figure6_ipc_90nm.csv
+	@echo "remote-smoke: object-store sweep matches in-process run"
 
 clean:
 	$(GO) clean ./...

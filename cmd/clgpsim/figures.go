@@ -16,32 +16,41 @@ import (
 	"clgp/internal/workload"
 )
 
-// cmdWorker executes one shard of a sweep directory and exits. It is
-// normally spawned by `clgpsim figures` (or any dispatch.Orchestrator in
-// child mode), but can be run by hand — or on another host against a shared
-// directory — since the shard protocol is just the manifest plus one JSONL
-// result file committed by rename.
+// cmdWorker executes one shard of a sweep and exits. It is normally
+// spawned by `clgpsim figures` (or any dispatch.Orchestrator launcher),
+// but can be run by hand — on this host or any other — since the shard
+// protocol is just the manifest plus one atomically committed JSONL result
+// object, reached through a sweep directory or an object-store URL.
 func cmdWorker(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
-	dir := fs.String("dir", "", "sweep directory (manifest.json + shards/)")
+	storeFlag := fs.String("store", "", "sweep store: checkpoint directory or http(s) object-store URL")
+	dir := fs.String("dir", "", "sweep directory (alias for a directory -store)")
 	shard := fs.Int("shard", -1, "shard id to execute")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *dir == "" || *shard < 0 {
-		return fmt.Errorf("worker needs -dir and -shard")
+	loc := *storeFlag
+	if loc == "" {
+		loc = *dir
 	}
-	m, err := dispatch.LoadManifest(*dir)
+	if loc == "" || *shard < 0 {
+		return fmt.Errorf("worker needs -store (or -dir) and -shard")
+	}
+	st, err := dispatch.OpenStore(loc)
+	if err != nil {
+		return err
+	}
+	m, err := st.LoadManifest()
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	recs, err := dispatch.RunShard(m, *shard, *workers)
+	recs, err := dispatch.RunShardStore(st, m, *shard, *workers)
 	if err != nil {
 		return err
 	}
-	if err := dispatch.WriteShardResults(*dir, m.Shards[*shard], recs); err != nil {
+	if err := st.WriteShardResults(m.Shards[*shard], recs); err != nil {
 		return err
 	}
 	failed := 0
@@ -68,8 +77,12 @@ func cmdFigures(args []string) error {
 	out := fs.String("out", "", "figure output directory (empty = the sweep directory)")
 	shards := fs.Int("shards", 0, "shard count (0 = one per workload)")
 	workers := fs.Int("workers", 0, "sim worker pool size per shard (0 = GOMAXPROCS)")
-	parallel := fs.Int("parallel", 0, "concurrent worker processes in -exec mode (0 = GOMAXPROCS)")
+	parallel := fs.Int("parallel", 0, "concurrent worker processes in -exec mode (0 = GOMAXPROCS), or shards per host with -ssh (0 = 1; >1 needs -workers)")
 	execMode := fs.Bool("exec", false, "run shards as child worker processes instead of in-process")
+	storeFlag := fs.String("store", "", "checkpoint through this store instead of -dir: an http(s) object-store URL (clgpsim store serve) or a shared directory")
+	sshHosts := fs.String("ssh", "", "comma-separated ssh hosts to run workers on (needs a -store the hosts can reach)")
+	sshRemote := fs.String("ssh-remote", "clgpsim", "clgpsim binary on the ssh hosts")
+	retries := fs.Int("retries", 1, "extra leases per shard after a worker failure (0 = no retry)")
 	resume := fs.Bool("resume", false, "resume an interrupted sweep, skipping completed shards")
 	figL1 := fs.Int("fig-l1", 2<<10, "L1 size used by the per-benchmark figures (6/7/8)")
 	benchJSON := fs.String("json", "", "also write a BENCH-format throughput record to this path")
@@ -124,6 +137,39 @@ func cmdFigures(args []string) error {
 	}
 	o := &dispatch.Orchestrator{
 		Dir: *dir, Workers: *workers, Parallel: *parallel, Mode: mode, Log: os.Stdout,
+		Retry: dispatch.RetryPolicy{Attempts: *retries + 1},
+	}
+	if *storeFlag != "" {
+		st, err := dispatch.OpenStore(*storeFlag)
+		if err != nil {
+			return err
+		}
+		o.Store = st
+	}
+	if *sshHosts != "" {
+		if o.Store == nil {
+			return fmt.Errorf("-ssh workers need -store (an object-store URL or a directory every host mounts)")
+		}
+		var hosts []string
+		for _, h := range strings.Split(*sshHosts, ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				hosts = append(hosts, h)
+			}
+		}
+		if len(hosts) == 0 {
+			return fmt.Errorf("-ssh %q names no hosts", *sshHosts)
+		}
+		perHost := *parallel
+		if perHost <= 0 {
+			perHost = 1
+		}
+		o.Launcher = &dispatch.SSHLauncher{
+			Hosts:   hosts,
+			PerHost: perHost,
+			Remote:  *sshRemote,
+			Store:   o.Store,
+			Workers: *workers,
+		}
 	}
 	outcome, err := o.Run(specs, *shards, *resume)
 	if err != nil {
@@ -137,8 +183,12 @@ func cmdFigures(args []string) error {
 	if ranSum.Sims > 0 {
 		rate = fmt.Sprintf(": %.0f cycles/sec", ranSum.CyclesPerSec())
 	}
-	fmt.Printf("%d sims (%d/%d shards from checkpoint, %d failed) in %v%s\n",
-		sum.Sims, len(outcome.Skipped), len(outcome.Manifest.Shards), sum.Failed,
+	retried := ""
+	if outcome.Retries > 0 {
+		retried = fmt.Sprintf(", %d retries", outcome.Retries)
+	}
+	fmt.Printf("%d sims (%d/%d shards from checkpoint, %d failed%s) in %v%s\n",
+		sum.Sims, len(outcome.Skipped), len(outcome.Manifest.Shards), sum.Failed, retried,
 		outcome.Wall.Round(time.Millisecond), rate)
 	for _, rec := range outcome.Records {
 		if rec.Err != "" {
@@ -166,6 +216,10 @@ func cmdFigures(args []string) error {
 			fmt.Printf("skipping %s: all shards came from the checkpoint, no throughput to record\n", *benchJSON)
 		} else {
 			rec := sim.RecordFromSummary("figures-grid", o.Workers, ranSum)
+			if outcome.Wall > 0 {
+				rec.ShardsPerSec = float64(len(outcome.Ran)) / outcome.Wall.Seconds()
+			}
+			rec.Retries = outcome.Retries
 			if err := sim.WriteBenchJSON(*benchJSON, []sim.BenchRecord{rec}); err != nil {
 				return err
 			}

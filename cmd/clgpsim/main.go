@@ -5,10 +5,11 @@
 // Usage:
 //
 //	clgpsim run     [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0] [-tracefile F -window N]
-//	clgpsim sweep   [-profile gcc] [-insts 200000] [-tech 90] [-workers 0] [-json BENCH_sweep.json] [-tracefile F -window N]
+//	clgpsim sweep   [-profile gcc] [-insts 200000] [-tech 90] [-workers 0] [-json BENCH_sweep.json] [-tracefile F -window N] [-store URL]
 //	clgpsim bench   [-profile gcc] [-insts 100000] [-workers 0] [-json BENCH_clgpsim.json]
-//	clgpsim figures [-insts 200000] [-techs 90,45] [-profiles ...] [-dir clgp-figures] [-shards 0] [-exec] [-resume]
-//	clgpsim worker  -dir DIR -shard N [-workers 0]
+//	clgpsim figures [-insts 200000] [-techs 90,45] [-profiles ...] [-dir clgp-figures] [-shards 0] [-exec] [-resume] [-store URL] [-ssh h1,h2] [-retries 1]
+//	clgpsim worker  -store LOC -shard N [-workers 0]
+//	clgpsim store   serve [-dir clgp-store] [-addr 127.0.0.1:8420] [-addr-file F]
 //	clgpsim trace   record|info|slice|bench ...
 package main
 
@@ -22,6 +23,7 @@ import (
 
 	"clgp/internal/cacti"
 	"clgp/internal/core"
+	"clgp/internal/dispatch"
 	"clgp/internal/sim"
 	"clgp/internal/stats"
 	"clgp/internal/trace"
@@ -46,6 +48,8 @@ func main() {
 		err = cmdFigures(os.Args[2:])
 	case "worker":
 		err = cmdWorker(os.Args[2:])
+	case "store":
+		err = cmdStore(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
 	case "-h", "--help", "help":
@@ -69,7 +73,8 @@ commands:
   sweep    run an (engine x L1 size) grid in parallel and print the IPC table
   bench    measure simulator throughput (serial vs parallel) and emit BENCH json
   figures  run/resume the sharded full-paper grid and emit Figure 1/6/7/8 series
-  worker   execute one shard of a sweep directory (spawned by figures -exec)
+  worker   execute one shard of a sweep store (spawned by figures -exec / -ssh)
+  store    serve a sweep object store over HTTP for multi-host dispatch
   trace    record/inspect/slice on-disk trace containers and bench trace I/O
 `)
 }
@@ -168,7 +173,8 @@ func cmdSweep(args []string) error {
 	useL0 := fs.Bool("l0", false, "add the one-cycle L0 to prefetching engines")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "write BENCH-format throughput json to this path")
-	traceFile := fs.String("tracefile", "", "stream every job's trace from this recorded container (overrides -profile/-insts/-seed)")
+	traceFile := fs.String("tracefile", "", "stream every job's trace from this recorded container (its header supplies the workload, overriding -profile/-insts/-seed)")
+	storeFlag := fs.String("store", "", "fetch the streamed trace container from this object store (http(s) URL) by (-profile, -seed) fingerprint")
 	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -177,6 +183,34 @@ func cmdSweep(args []string) error {
 	tn, err := cacti.ParseTech(*tech)
 	if err != nil {
 		return err
+	}
+	if *storeFlag != "" {
+		// The remote-fetch path: rebuild the program image from the flags,
+		// compute its generation fingerprint, and pull the matching
+		// container out of the store — the same resolution a remote
+		// dispatch worker performs. Only an object store can serve it: a
+		// directory store has no fingerprint-addressed trace space (its
+		// containers are plain paths, which is what -tracefile is for).
+		st, err := dispatch.OpenStore(*storeFlag)
+		if err != nil {
+			return err
+		}
+		if _, ok := st.(*dispatch.ObjectStore); !ok {
+			return fmt.Errorf("-store %s is not an object-store URL; pass the container path with -tracefile instead", *storeFlag)
+		}
+		p, err := workload.ProfileByName(*profile)
+		if err != nil {
+			return err
+		}
+		dict, err := workload.BuildImage(p, *seed)
+		if err != nil {
+			return err
+		}
+		local, err := st.FetchTrace(p.Name+".clgt", workload.Fingerprint(p, dict))
+		if err != nil {
+			return err
+		}
+		*traceFile = local
 	}
 	var w *workload.Workload
 	if *traceFile != "" {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"clgp/internal/dispatch"
+)
+
+// cmdStore dispatches the object-store subcommands. The store is the
+// network face of the dispatch protocol: `serve` exposes a directory of
+// objects (manifest, shard results, trace containers) over HTTP with
+// content-hash integrity, so workers on any host that can reach the URL
+// can join a sweep without a shared filesystem.
+func cmdStore(args []string) error {
+	if len(args) < 1 {
+		storeUsage()
+		return fmt.Errorf("store needs a subcommand")
+	}
+	switch args[0] {
+	case "serve":
+		return cmdStoreServe(args[1:])
+	default:
+		storeUsage()
+		return fmt.Errorf("unknown store subcommand %q", args[0])
+	}
+}
+
+func storeUsage() {
+	fmt.Fprint(os.Stderr, `clgpsim store — sweep object store
+
+subcommands:
+  serve    serve a directory as a dispatch object store over HTTP
+`)
+}
+
+func cmdStoreServe(args []string) error {
+	fs := flag.NewFlagSet("store serve", flag.ExitOnError)
+	dir := fs.String("dir", "clgp-store", "directory holding the store's objects")
+	addr := fs.String("addr", "127.0.0.1:8420", "listen address (port 0 picks an ephemeral port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := dispatch.NewStoreServer(*dir)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Printf("store: serving %s at http://%s (point workers at -store http://%s)\n", *dir, bound, bound)
+	return http.Serve(ln, srv)
+}

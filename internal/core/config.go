@@ -1,9 +1,3 @@
-// Package core ties the substrates together into the simulated processor:
-// the decoupled front-end (stream predictor, FTQ/CLTQ, prefetch engine,
-// pre-buffers, fetch stage), the memory hierarchy, and the back-end
-// pipeline. It implements the trace-driven, wrong-path-capable cycle loop
-// the paper's custom simulator provides, and produces the statistics each
-// figure of the evaluation is built from.
 package core
 
 import (

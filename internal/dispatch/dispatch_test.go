@@ -241,7 +241,7 @@ func keyOf(r sim.Result) statsKey {
 // single-process path) and returns per-job stats keyed by job name.
 func runBaseline(t *testing.T, specs []JobSpec) map[string]statsKey {
 	t.Helper()
-	cache := make(workloadCache)
+	cache := newWorkloadCache(nil)
 	jobs := make([]sim.Job, len(specs))
 	for i, spec := range specs {
 		w, err := cache.get(spec)
@@ -301,7 +301,7 @@ func TestInterruptedSweepResumesAndMatchesSingleProcess(t *testing.T) {
 
 	// Simulate the interrupted first run: plan the sweep, complete only
 	// shards 0 and 2, then "die" before the rest.
-	m, err := o.prepare(specs, 4, false)
+	m, err := o.prepare(NewDirStore(dir), specs, 4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +381,7 @@ func TestResumeRejectsDifferentGrid(t *testing.T) {
 	specs := testGrid(t)
 	dir := t.TempDir()
 	o := &Orchestrator{Dir: dir, Workers: 2}
-	if _, err := o.prepare(specs, 2, false); err != nil {
+	if _, err := o.prepare(NewDirStore(dir), specs, 2, false); err != nil {
 		t.Fatal(err)
 	}
 	other := append([]JobSpec(nil), specs...)

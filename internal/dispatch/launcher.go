@@ -1,0 +1,138 @@
+package dispatch
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+)
+
+// Launcher is how the orchestrator turns a leased shard into running work.
+// Implementations span the locality spectrum — same process, re-exec'd
+// child process, ssh to another host — behind one contract: Launch executes
+// the shard to completion, committing its results to the sweep's store, and
+// does not return success until the commit happened (the orchestrator
+// independently verifies ShardComplete afterwards, so a launcher cannot
+// accidentally report a shard done that is not).
+type Launcher interface {
+	// Slots is the number of shards the launcher can execute concurrently;
+	// the orchestrator runs at most this many leases at once.
+	Slots() int
+	// Launch executes shard id of the manifest to completion. exclude names
+	// hosts this lease must avoid — hosts that already failed the same
+	// shard — which multi-host launchers honour when an alternative exists;
+	// single-host launchers may ignore it (retrying locally is the only
+	// option). The returned host labels the execution slot used, feeding
+	// logs and the caller's excluded-host set.
+	Launch(m *Manifest, shard int, exclude map[string]bool) (host string, err error)
+}
+
+// WorkerArgv builds the `clgpsim worker` argv for any launcher that spawns
+// worker processes: `bin worker -store LOC -shard N -workers W`. It is the
+// single home of the worker flag contract — DefaultWorkerArgv and the ssh
+// launcher both build through it, so the contract cannot drift between
+// local and remote spawning.
+func WorkerArgv(bin, store string, shard, workers int) []string {
+	return []string{bin, "worker",
+		"-store", store,
+		"-shard", strconv.Itoa(shard),
+		"-workers", strconv.Itoa(workers),
+	}
+}
+
+// DefaultWorkerArgv builds the child argv used by process-spawning
+// launchers when no Argv override is set: the current executable re-exec'd
+// through the WorkerArgv contract. store is the store location in -store
+// form (a sweep directory or an http(s) base URL).
+func DefaultWorkerArgv(store string, shard, workers int) []string {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	return WorkerArgv(exe, store, shard, workers)
+}
+
+// InProcessLauncher runs shards inside the calling process, one at a time,
+// parallelising within each shard via the sim worker pool. It is the
+// zero-infrastructure baseline every other launcher is measured against:
+// identical results, no process or network boundary.
+type InProcessLauncher struct {
+	// Store receives the shard results.
+	Store Store
+	// Workers is the sim worker-pool size per shard (<= 0 selects
+	// GOMAXPROCS).
+	Workers int
+}
+
+// Slots implements Launcher: one shard at a time (each shard already
+// saturates the machine through the sim pool).
+func (l *InProcessLauncher) Slots() int { return 1 }
+
+// Launch implements Launcher.
+func (l *InProcessLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) (string, error) {
+	const host = "in-process"
+	recs, err := RunShardStore(l.Store, m, shard, l.Workers)
+	if err != nil {
+		return host, err
+	}
+	return host, l.Store.WriteShardResults(m.Shards[shard], recs)
+}
+
+// ChildLauncher re-execs a worker process per shard and runs up to Parallel
+// of them concurrently. Workers communicate with the orchestrator only
+// through the store, which is the same protocol remote launchers use — a
+// child worker is indistinguishable from one on another machine.
+type ChildLauncher struct {
+	// Store locates the sweep for spawned workers (its Location is passed
+	// as -store) and verifies their commits.
+	Store Store
+	// Argv overrides the worker argv built for a shard (tests use it to
+	// re-exec the test binary); nil selects DefaultWorkerArgv.
+	Argv func(store string, shard, workers int) []string
+	// Parallel is the number of concurrently running children (<= 0 selects
+	// GOMAXPROCS).
+	Parallel int
+	// Workers is the sim worker-pool size forwarded to each child; <= 0
+	// divides GOMAXPROCS evenly over the slots so concurrent children do
+	// not oversubscribe the machine.
+	Workers int
+}
+
+// Slots implements Launcher.
+func (l *ChildLauncher) Slots() int {
+	if l.Parallel > 0 {
+		return l.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// workerPool resolves the per-child sim pool size: forwarding 0 verbatim
+// would make every child size its own pool to the whole machine,
+// oversubscribing it Slots()-fold.
+func (l *ChildLauncher) workerPool() int {
+	if l.Workers > 0 {
+		return l.Workers
+	}
+	w := runtime.GOMAXPROCS(0) / l.Slots()
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Launch implements Launcher.
+func (l *ChildLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) (string, error) {
+	const host = "child"
+	argvFor := l.Argv
+	if argvFor == nil {
+		argvFor = DefaultWorkerArgv
+	}
+	argv := argvFor(l.Store.Location(), shard, l.workerPool())
+	cmd := exec.Command(argv[0], argv[1:]...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return host, fmt.Errorf("dispatch: worker for %s failed: %w\n%s", m.Shards[shard].Name, err, out)
+	}
+	return host, nil
+}

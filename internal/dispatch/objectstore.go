@@ -1,0 +1,363 @@
+package dispatch
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"clgp/internal/tracefile"
+)
+
+// The object-store wire protocol: plain HTTP with content-addressed
+// integrity. Every object is a single opaque blob under a key; an object's
+// ETag is the lowercase hex SHA-256 of its bytes. Uploads carry the same
+// hash in ObjectHashHeader and the server refuses to commit a body that
+// does not match it, so a connection cut mid-upload can never leave a
+// half-written object that resume would mistake for a completed shard.
+const (
+	// ObjectPathPrefix is the URL prefix objects are served under
+	// ("/v1/o/<key>").
+	ObjectPathPrefix = "/v1/o/"
+	// ListPath is the key-listing endpoint ("/v1/list?prefix=P", one key per
+	// line).
+	ListPath = "/v1/list"
+	// ObjectHashHeader carries the client-computed SHA-256 of an upload; the
+	// server verifies the received body against it before committing.
+	ObjectHashHeader = "X-Content-Sha256"
+
+	// manifestKey, shardKeyPrefix and traceKeyPrefix lay out the sweep
+	// inside the store's key space, mirroring the directory layout.
+	manifestKey    = ManifestFile
+	shardKeyPrefix = ShardsDir + "/"
+	traceKeyPrefix = "traces/"
+)
+
+// shardKey returns the object key of a shard's result JSONL.
+func shardKey(sp ShardPlan) string { return shardKeyPrefix + sp.Name + ".jsonl" }
+
+// TraceObjectKey returns the content-addressed object key a trace container
+// is published under: its workload generation fingerprint, not its file
+// name, so a worker that has only (profile, seed) can rebuild the image,
+// compute the fingerprint and fetch exactly the container that matches it.
+func TraceObjectKey(fingerprint uint64) string {
+	return traceKeyPrefix + tracefile.FingerprintKey(fingerprint) + ".clgt"
+}
+
+// hashOf returns the protocol's content hash of data (lowercase hex SHA-256).
+func hashOf(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ObjectStore is the HTTP client side of the object-store protocol: the
+// manifest, shard results and trace containers live as blobs behind a base
+// URL instead of a shared filesystem, so workers on any host that can reach
+// the URL can join a sweep. Methods are safe for concurrent use.
+type ObjectStore struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8420".
+	BaseURL string
+	// CacheDir holds fetched trace containers, named by fingerprint; empty
+	// selects <os temp>/clgp-trace-cache. Fetches are content-verified, so
+	// a cache hit never re-downloads.
+	CacheDir string
+	// Client is the HTTP client; nil selects a client with a generous
+	// timeout (trace containers can be large).
+	Client *http.Client
+}
+
+// NewObjectStore returns a client for the object store at baseURL.
+func NewObjectStore(baseURL string) *ObjectStore {
+	return &ObjectStore{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (s *ObjectStore) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+func (s *ObjectStore) objectURL(key string) string {
+	return s.BaseURL + ObjectPathPrefix + key
+}
+
+// Location implements Store: the base URL.
+func (s *ObjectStore) Location() string { return s.BaseURL }
+
+// put uploads one object with its content hash; the server commits it
+// atomically or not at all.
+func (s *ObjectStore) put(key string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, s.objectURL(key), bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("dispatch: store put %s: %w", key, err)
+	}
+	req.Header.Set(ObjectHashHeader, hashOf(data))
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("dispatch: store put %s: %w", key, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("dispatch: store put %s: %s: %s", key, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// get downloads one object and verifies its bytes against the server's
+// ETag, so truncated or corrupted transfers surface here instead of as
+// garbage results downstream. A missing object returns an error wrapping
+// os.ErrNotExist.
+func (s *ObjectStore) get(key string) ([]byte, error) {
+	resp, err := s.client().Get(s.objectURL(key))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: store get %s: %w", key, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("dispatch: store get %s: %w", key, os.ErrNotExist)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("dispatch: store get %s: %s: %s", key, resp.Status, strings.TrimSpace(string(body)))
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: store get %s: %w", key, err)
+	}
+	if etag := strings.Trim(resp.Header.Get("ETag"), `"`); etag != "" && etag != hashOf(data) {
+		return nil, fmt.Errorf("dispatch: store get %s: body does not match ETag %s (got %d bytes hashing to %s)",
+			key, etag, len(data), hashOf(data))
+	}
+	return data, nil
+}
+
+// head reports whether an object exists. Only a definitive 404 means
+// absent; transport failures and server errors are reported as errors so
+// callers never mistake "could not check" for "not there".
+func (s *ObjectStore) head(key string) (bool, error) {
+	resp, err := s.client().Head(s.objectURL(key))
+	if err != nil {
+		return false, fmt.Errorf("dispatch: store head %s: %w", key, err)
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("dispatch: store head %s: %s", key, resp.Status)
+	}
+}
+
+// del removes one object (absent objects are not an error).
+func (s *ObjectStore) del(key string) error {
+	req, err := http.NewRequest(http.MethodDelete, s.objectURL(key), nil)
+	if err != nil {
+		return fmt.Errorf("dispatch: store delete %s: %w", key, err)
+	}
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("dispatch: store delete %s: %w", key, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("dispatch: store delete %s: %s", key, resp.Status)
+	}
+	return nil
+}
+
+// list returns the keys under a prefix.
+func (s *ObjectStore) list(prefix string) ([]string, error) {
+	resp, err := s.client().Get(s.BaseURL + ListPath + "?prefix=" + url.QueryEscape(prefix))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: store list %s: %w", prefix, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dispatch: store list %s: %s", prefix, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: store list %s: %w", prefix, err)
+	}
+	var keys []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			keys = append(keys, line)
+		}
+	}
+	return keys, nil
+}
+
+// LoadManifest implements Store.
+func (s *ObjectStore) LoadManifest() (*Manifest, error) {
+	data, err := s.get(manifestKey)
+	if err != nil {
+		return nil, err
+	}
+	return parseManifest(data)
+}
+
+// WriteManifest implements Store.
+func (s *ObjectStore) WriteManifest(m *Manifest) error {
+	data, err := encodeManifest(m)
+	if err != nil {
+		return err
+	}
+	return s.put(manifestKey, data)
+}
+
+// ShardComplete implements Store.
+func (s *ObjectStore) ShardComplete(sp ShardPlan) (bool, error) { return s.head(shardKey(sp)) }
+
+// WriteShardResults implements Store.
+func (s *ObjectStore) WriteShardResults(sp ShardPlan, recs []RunRecord) error {
+	data, err := encodeShardResults(sp, recs)
+	if err != nil {
+		return err
+	}
+	return s.put(shardKey(sp), data)
+}
+
+// LoadShardResults implements Store.
+func (s *ObjectStore) LoadShardResults(sp ShardPlan) ([]RunRecord, error) {
+	data, err := s.get(shardKey(sp))
+	if err != nil {
+		return nil, err
+	}
+	return parseShardResults(sp, data)
+}
+
+// ClearShards implements Store.
+func (s *ObjectStore) ClearShards() error {
+	keys, err := s.list(shardKeyPrefix)
+	if err != nil {
+		return err
+	}
+	for _, key := range keys {
+		if err := s.del(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *ObjectStore) cacheDir() string {
+	if s.CacheDir != "" {
+		return s.CacheDir
+	}
+	// Per-user, not world-shared: a cache under os.TempDir() would be one
+	// predictable path contended (and plantable) by every user on the host.
+	if base, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(base, "clgp-trace-cache")
+	}
+	return filepath.Join(os.TempDir(), fmt.Sprintf("clgp-trace-cache-%d", os.Getuid()))
+}
+
+// cachedTrace reports whether local already holds a valid container with
+// the wanted fingerprint. A cache hit is verified, not trusted: a stale,
+// truncated or planted file re-fetches instead of simulating garbage.
+func cachedTrace(local string, fingerprint uint64) bool {
+	rd, err := tracefile.Open(local)
+	if err != nil {
+		return false
+	}
+	defer rd.Close()
+	return rd.Fingerprint() == fingerprint
+}
+
+// FetchTrace implements Store: it downloads the container published under
+// the workload fingerprint into the local cache (verifying the transfer
+// against the server's content hash and the container's own structure) and
+// returns the cached path. The reference name only labels error messages —
+// addressing is purely by fingerprint, so there is no path coordination
+// between hosts to get wrong.
+func (s *ObjectStore) FetchTrace(name string, fingerprint uint64) (string, error) {
+	if fingerprint == 0 {
+		return "", fmt.Errorf("dispatch: trace %s: cannot fetch by a zero fingerprint", name)
+	}
+	dir := s.cacheDir()
+	local := filepath.Join(dir, tracefile.FingerprintKey(fingerprint)+".clgt")
+	if cachedTrace(local, fingerprint) {
+		return local, nil
+	}
+	data, err := s.get(TraceObjectKey(fingerprint))
+	if err != nil {
+		return "", fmt.Errorf("dispatch: trace %s (fingerprint %s): %w", name, tracefile.FingerprintKey(fingerprint), err)
+	}
+	// Parse the container before committing it to the cache: the bytes are
+	// transfer-verified already, but a bad publish (or a hash collision in
+	// the key space) must fail here, not mid-simulation.
+	rd, err := tracefile.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return "", fmt.Errorf("dispatch: trace %s: fetched object is not a valid container: %w", name, err)
+	}
+	if rd.Fingerprint() != fingerprint {
+		return "", fmt.Errorf("dispatch: trace %s: fetched container carries fingerprint %s, key says %s",
+			name, tracefile.FingerprintKey(rd.Fingerprint()), tracefile.FingerprintKey(fingerprint))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("dispatch: trace cache: %w", err)
+	}
+	// A unique temp file per fetch: concurrent workers on one host missing
+	// the cache for the same fingerprint must each commit their own copy
+	// whole (the contents are identical, so whichever rename lands last
+	// wins harmlessly) — a shared temp path would truncate a file another
+	// worker is mid-validate on.
+	tf, err := os.CreateTemp(dir, tracefile.FingerprintKey(fingerprint)+".*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("dispatch: trace cache: %w", err)
+	}
+	tmp := tf.Name()
+	if _, err := tf.Write(data); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("dispatch: trace cache: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("dispatch: trace cache: %w", err)
+	}
+	if err := os.Rename(tmp, local); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("dispatch: trace cache: %w", err)
+	}
+	return local, nil
+}
+
+// PushTrace implements Store: it publishes a local container under its
+// header fingerprint so remote workers can fetch it. Containers recorded
+// without a fingerprint are rejected — they could never be fetched back.
+func (s *ObjectStore) PushTrace(localPath string) error {
+	rd, err := tracefile.Open(localPath)
+	if err != nil {
+		return err
+	}
+	fp := rd.Fingerprint()
+	rd.Close()
+	if fp == 0 {
+		return fmt.Errorf("dispatch: %s has no workload fingerprint; remote workers could not fetch it", localPath)
+	}
+	key := TraceObjectKey(fp)
+	// The probe is an optimisation: on "exists" the upload is skipped
+	// (content-addressed — same fingerprint, same container); on "absent"
+	// or "could not check" it simply uploads.
+	if exists, err := s.head(key); err == nil && exists {
+		return nil
+	}
+	data, err := os.ReadFile(localPath)
+	if err != nil {
+		return fmt.Errorf("dispatch: reading %s: %w", localPath, err)
+	}
+	return s.put(key, data)
+}

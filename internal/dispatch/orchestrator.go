@@ -5,16 +5,15 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/exec"
 	"runtime"
-	"strconv"
 	"sync"
 	"time"
 
 	"clgp/internal/sim"
 )
 
-// Mode selects how shards are executed.
+// Mode selects the built-in launcher the orchestrator uses when no explicit
+// Launcher is set.
 type Mode int
 
 const (
@@ -23,8 +22,8 @@ const (
 	ModeInProcess Mode = iota
 	// ModeChild re-execs a worker process per shard (clgpsim worker) and
 	// runs up to Parallel of them concurrently. Workers communicate with
-	// the orchestrator only through the sweep directory, which is the same
-	// protocol a multi-host dispatcher would use.
+	// the orchestrator only through the store, which is the same protocol
+	// remote workers use.
 	ModeChild
 )
 
@@ -40,25 +39,15 @@ func (m Mode) String() string {
 	}
 }
 
-// DefaultWorkerArgv builds the child argv used by ModeChild when no
-// WorkerArgv override is set: the current executable re-exec'd as
-// `worker -dir DIR -shard N -workers W`, which is the clgpsim worker
-// subcommand contract.
-func DefaultWorkerArgv(dir string, shard, workers int) []string {
-	exe, err := os.Executable()
-	if err != nil {
-		exe = os.Args[0]
-	}
-	return []string{exe, "worker",
-		"-dir", dir,
-		"-shard", strconv.Itoa(shard),
-		"-workers", strconv.Itoa(workers),
-	}
-}
-
-// Orchestrator drives a sharded, checkpointed sweep over a directory.
+// Orchestrator drives a sharded, checkpointed sweep: it plans (or resumes)
+// the manifest in a Store, leases pending shards to a Launcher's slots with
+// per-shard retry, and merges the committed results. Store and Launcher are
+// both pluggable; the legacy fields (Dir, Mode, Parallel, WorkerArgv)
+// configure the built-in directory store and in-process/child launchers so
+// existing callers keep working unchanged.
 type Orchestrator struct {
-	// Dir is the sweep checkpoint directory (manifest + shard results).
+	// Dir is the sweep checkpoint directory backing the default DirStore;
+	// ignored when Store is set.
 	Dir string
 	// Workers is the sim worker-pool size used inside each shard
 	// (<= 0 selects GOMAXPROCS; in ModeChild it is forwarded to workers).
@@ -66,11 +55,19 @@ type Orchestrator struct {
 	// Parallel is the number of concurrently running child processes in
 	// ModeChild (<= 0 selects GOMAXPROCS; ignored in ModeInProcess).
 	Parallel int
-	// Mode selects in-process or child-process execution.
+	// Mode selects the built-in launcher; ignored when Launcher is set.
 	Mode Mode
 	// WorkerArgv overrides the child argv built for a shard (tests use it
-	// to re-exec the test binary); nil selects DefaultWorkerArgv.
-	WorkerArgv func(dir string, shard, workers int) []string
+	// to re-exec the test binary); nil selects DefaultWorkerArgv. Its first
+	// argument is the store location (the sweep directory for a DirStore).
+	WorkerArgv func(store string, shard, workers int) []string
+	// Store overrides the checkpoint backend; nil selects NewDirStore(Dir).
+	Store Store
+	// Launcher overrides shard execution; nil selects a launcher from Mode.
+	Launcher Launcher
+	// Retry is the per-shard retry policy; the zero value means a single
+	// attempt per shard.
+	Retry RetryPolicy
 	// Log receives progress lines; nil is silent.
 	Log io.Writer
 }
@@ -81,6 +78,9 @@ type Outcome struct {
 	Manifest *Manifest
 	// Ran and Skipped are the shard IDs executed and resumed-over.
 	Ran, Skipped []int
+	// Retries is the number of extra shard leases taken after launch
+	// failures (0 on a fault-free sweep).
+	Retries int
 	// Records are the merged results of all shards, in grid order.
 	Records []RunRecord
 	// Wall is the wall-clock time of this invocation (excluding skipped
@@ -132,20 +132,66 @@ func (o *Orchestrator) logf(format string, args ...any) {
 	}
 }
 
+// store resolves the checkpoint backend for this run.
+func (o *Orchestrator) store() (Store, error) {
+	if o.Store != nil {
+		return o.Store, nil
+	}
+	if o.Dir == "" {
+		return nil, fmt.Errorf("dispatch: orchestrator needs a store or a sweep directory")
+	}
+	return NewDirStore(o.Dir), nil
+}
+
+// launcher resolves shard execution for this run. npending caps the
+// built-in child launcher's parallelism: a child's sim pool is sized by
+// dividing the machine over the concurrent children, and only children
+// that will actually run concurrently may count in that division — on a
+// resume with one shard left, that one child must get the whole machine.
+func (o *Orchestrator) launcher(st Store, npending int) (Launcher, error) {
+	if o.Launcher != nil {
+		return o.Launcher, nil
+	}
+	switch o.Mode {
+	case ModeInProcess:
+		return &InProcessLauncher{Store: st, Workers: o.Workers}, nil
+	case ModeChild:
+		parallel := o.Parallel
+		if parallel <= 0 {
+			parallel = runtime.GOMAXPROCS(0)
+		}
+		if npending > 0 && parallel > npending {
+			parallel = npending
+		}
+		return &ChildLauncher{Store: st, Argv: o.WorkerArgv, Parallel: parallel, Workers: o.Workers}, nil
+	default:
+		return nil, fmt.Errorf("dispatch: unknown mode %v", o.Mode)
+	}
+}
+
 // Run executes (or resumes) a sweep of the grid split into nShards shards.
 //
-// With resume set and a manifest already present in Dir, the stored shard
-// plan is reused — after verifying that its grid hash matches specs, so a
-// checkpoint directory cannot silently be completed against a different
-// grid — and shards whose result file exists are skipped. Without resume,
-// any previous checkpoint in Dir is cleared first.
+// With resume set and a manifest already present in the store, the stored
+// shard plan is reused — after verifying that its grid hash matches specs,
+// so a checkpoint cannot silently be completed against a different grid —
+// and shards whose result object exists are skipped. Without resume, any
+// previous checkpoint in the store is cleared first.
 func (o *Orchestrator) Run(specs []JobSpec, nShards int, resume bool) (*Outcome, error) {
-	if o.Dir == "" {
-		return nil, fmt.Errorf("dispatch: orchestrator needs a sweep directory")
+	st, err := o.store()
+	if err != nil {
+		return nil, err
+	}
+	// A misconfigured launcher is a configuration error, not a per-shard
+	// failure: surface it before any checkpoint state is touched, not
+	// through the retry schedule.
+	if v, ok := o.Launcher.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	start := time.Now()
 
-	m, err := o.prepare(specs, nShards, resume)
+	m, err := o.prepare(st, specs, nShards, resume)
 	if err != nil {
 		return nil, err
 	}
@@ -153,29 +199,30 @@ func (o *Orchestrator) Run(specs []JobSpec, nShards int, resume bool) (*Outcome,
 	out := &Outcome{Manifest: m}
 	var pending []int
 	for _, sp := range m.Shards {
-		if ShardComplete(o.Dir, sp) {
+		done, err := st.ShardComplete(sp)
+		if err != nil {
+			return nil, err
+		}
+		if done {
 			out.Skipped = append(out.Skipped, sp.ID)
 		} else {
 			pending = append(pending, sp.ID)
 		}
 	}
-	o.logf("sweep %s: %d jobs in %d shards (%d complete, %d to run, %s)",
-		m.GridHash, m.NumJobs(), len(m.Shards), len(out.Skipped), len(pending), o.Mode)
-
-	switch o.Mode {
-	case ModeInProcess:
-		err = o.runInProcess(m, pending)
-	case ModeChild:
-		err = o.runChildren(m, pending)
-	default:
-		err = fmt.Errorf("dispatch: unknown mode %v", o.Mode)
+	ln, err := o.launcher(st, len(pending))
+	if err != nil {
+		return nil, err
 	}
+	o.logf("sweep %s: %d jobs in %d shards (%d complete, %d to run, %d slots)",
+		m.GridHash, m.NumJobs(), len(m.Shards), len(out.Skipped), len(pending), ln.Slots())
+
+	out.Retries, err = o.execute(st, ln, m, pending)
 	if err != nil {
 		return nil, err
 	}
 	out.Ran = pending
 
-	out.Records, err = Merge(o.Dir, m)
+	out.Records, err = MergeStore(st, m)
 	if err != nil {
 		return nil, err
 	}
@@ -185,15 +232,35 @@ func (o *Orchestrator) Run(specs []JobSpec, nShards int, resume bool) (*Outcome,
 
 // prepare resolves the manifest for this run: loading and validating the
 // stored one on resume, planning and persisting a fresh one otherwise. A
-// fresh start clears any leftover shard results in the directory.
-func (o *Orchestrator) prepare(specs []JobSpec, nShards int, resume bool) (*Manifest, error) {
+// fresh start clears any leftover shard results first. When the grid
+// streams from trace containers, they are published to the store here —
+// before any worker launches — so a remote worker never races the upload.
+func (o *Orchestrator) prepare(st Store, specs []JobSpec, nShards int, resume bool) (*Manifest, error) {
+	m, err := o.resolveManifest(st, specs, nShards, resume)
+	if err != nil {
+		return nil, err
+	}
+	pushed := make(map[string]bool)
+	for _, s := range specs {
+		if s.TraceFile == "" || pushed[s.TraceFile] {
+			continue
+		}
+		if err := st.PushTrace(s.TraceFile); err != nil {
+			return nil, err
+		}
+		pushed[s.TraceFile] = true
+	}
+	return m, nil
+}
+
+func (o *Orchestrator) resolveManifest(st Store, specs []JobSpec, nShards int, resume bool) (*Manifest, error) {
 	if resume {
-		m, err := LoadManifest(o.Dir)
+		m, err := st.LoadManifest()
 		switch {
 		case err == nil:
 			if got, want := m.GridHash, GridHash(specs); got != want {
-				return nil, fmt.Errorf("dispatch: %s holds a checkpoint of a different grid (hash %s, this grid %s); use a fresh directory or drop -resume",
-					o.Dir, got, want)
+				return nil, fmt.Errorf("dispatch: %s holds a checkpoint of a different grid (hash %s, this grid %s); use a fresh store or drop -resume",
+					st.Location(), got, want)
 			}
 			return m, nil
 		case errors.Is(err, os.ErrNotExist):
@@ -209,105 +276,123 @@ func (o *Orchestrator) prepare(specs []JobSpec, nShards int, resume bool) (*Mani
 	}
 	// Clear leftovers BEFORE committing the manifest: if the order were
 	// reversed, a crash between the two steps would leave a new-grid
-	// manifest next to old-grid shard files, and a later resume would
+	// manifest next to old-grid shard results, and a later resume would
 	// merge the stale results as if they belonged to this grid.
-	if err := ClearShards(o.Dir); err != nil {
+	if err := st.ClearShards(); err != nil {
 		return nil, err
 	}
-	if err := WriteManifest(o.Dir, m); err != nil {
+	if err := st.WriteManifest(m); err != nil {
 		return nil, err
 	}
 	return m, nil
 }
 
-// runInProcess executes the pending shards in the calling process.
-func (o *Orchestrator) runInProcess(m *Manifest, pending []int) error {
-	for _, id := range pending {
-		sp := m.Shards[id]
-		start := time.Now()
-		recs, err := RunShard(m, id, o.Workers)
-		if err != nil {
-			return err
-		}
-		if err := WriteShardResults(o.Dir, sp, recs); err != nil {
-			return err
-		}
-		o.logf("  %s: %d jobs in %v", sp.Name, len(recs), time.Since(start).Round(time.Millisecond))
+// execute leases the pending shards over the launcher's slots, applying the
+// retry policy per shard, and returns the total retries taken.
+func (o *Orchestrator) execute(st Store, ln Launcher, m *Manifest, pending []int) (int, error) {
+	if len(pending) == 0 {
+		return 0, nil
 	}
-	return nil
-}
-
-// runChildren executes the pending shards as child worker processes, at
-// most Parallel at a time.
-func (o *Orchestrator) runChildren(m *Manifest, pending []int) error {
-	argvFor := o.WorkerArgv
-	if argvFor == nil {
-		argvFor = DefaultWorkerArgv
+	slots := ln.Slots()
+	if slots < 1 {
+		slots = 1
 	}
-	parallel := o.Parallel
-	if parallel <= 0 {
-		parallel = runtime.GOMAXPROCS(0)
+	if slots > len(pending) {
+		slots = len(pending)
 	}
-	if parallel > len(pending) {
-		parallel = len(pending)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		retries  int
+		firstErr error
+	)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
 	}
-	// Divide the CPU budget between the children: forwarding Workers=0
-	// verbatim would make each child size its own pool to the whole
-	// machine, oversubscribing it `parallel`-fold.
-	workers := o.Workers
-	if workers <= 0 && parallel > 0 {
-		workers = runtime.GOMAXPROCS(0) / parallel
-		if workers < 1 {
-			workers = 1
-		}
-	}
-
-	sem := make(chan struct{}, parallel)
-	errs := make([]error, len(pending))
-	var wg sync.WaitGroup
-	for i, id := range pending {
+	ids := make(chan int)
+	for s := 0; s < slots; s++ {
 		wg.Add(1)
-		go func(i, id int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sp := m.Shards[id]
-			argv := argvFor(o.Dir, id, workers)
-			start := time.Now()
-			cmd := exec.Command(argv[0], argv[1:]...)
-			outBytes, err := cmd.CombinedOutput()
-			if err != nil {
-				errs[i] = fmt.Errorf("dispatch: worker for %s failed: %w\n%s", sp.Name, err, outBytes)
-				return
+			for id := range ids {
+				if failed() {
+					continue // drain without running: fail fast
+				}
+				r, err := o.runShard(st, ln, m, id)
+				mu.Lock()
+				retries += r
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
 			}
-			if !ShardComplete(o.Dir, sp) {
-				errs[i] = fmt.Errorf("dispatch: worker for %s exited 0 without writing its result file", sp.Name)
-				return
-			}
-			o.logf("  %s: worker done in %v", sp.Name, time.Since(start).Round(time.Millisecond))
-		}(i, id)
+		}()
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	for _, id := range pending {
+		// Stop feeding new shards once one has exhausted its budget:
+		// in-flight shards finish (and commit, so a resume keeps them),
+		// but a deterministic failure does not grind through the whole
+		// grid's retry schedule before surfacing.
+		if failed() {
+			break
 		}
+		ids <- id
 	}
-	return nil
+	close(ids)
+	wg.Wait()
+	return retries, firstErr
 }
 
-// Merge loads every shard's results and returns them in grid order. All
-// shards must be complete; each file is validated against the plan.
-func Merge(dir string, m *Manifest) ([]RunRecord, error) {
-	recs := make([]RunRecord, 0, m.NumJobs())
-	for _, sp := range m.Shards {
-		shardRecs, err := LoadShardResults(dir, sp)
-		if err != nil {
-			return nil, err
+// runShard drives one shard through lease/verify/retry until it commits or
+// the retry budget is spent. A launcher reporting success without the store
+// holding the result object is treated as a failure — commit, not exit
+// status, is the completion signal.
+func (o *Orchestrator) runShard(st Store, ln Launcher, m *Manifest, id int) (retries int, err error) {
+	sp := m.Shards[id]
+	policy := o.Retry.withDefaults()
+	exclude := make(map[string]bool)
+	var lastErr error
+	for attempt := 0; attempt < policy.Attempts; attempt++ {
+		if attempt > 0 {
+			delay := policy.Backoff(attempt - 1)
+			o.logf("  %s: retrying (lease %d/%d) in %v, excluding %d host(s)",
+				sp.Name, attempt+1, policy.Attempts, delay.Round(time.Millisecond), len(exclude))
+			time.Sleep(delay)
+			retries++
 		}
-		recs = append(recs, shardRecs...)
+		start := time.Now()
+		host, err := ln.Launch(m, id, exclude)
+		if err == nil {
+			// Commit, not exit status, is the completion signal. A failed
+			// existence check is a launch failure too — retryable, never
+			// conflated with "absent".
+			done, cerr := st.ShardComplete(sp)
+			if cerr != nil {
+				err = cerr
+			} else if !done {
+				err = fmt.Errorf("dispatch: worker for %s (%s) exited cleanly without committing its results", sp.Name, host)
+			}
+		}
+		if err == nil {
+			o.logf("  %s: done on %s in %v", sp.Name, host, time.Since(start).Round(time.Millisecond))
+			return retries, nil
+		}
+		lastErr = err
+		if host != "" {
+			exclude[host] = true
+		}
+		o.logf("  %s: lease %d/%d failed on %s: %v", sp.Name, attempt+1, policy.Attempts, host, err)
 	}
-	return recs, nil
+	return retries, fmt.Errorf("dispatch: shard %s failed after %d attempt(s): %w", sp.Name, policy.Attempts, lastErr)
+}
+
+// Merge loads every shard's results from a sweep directory and returns them
+// in grid order. All shards must be complete; each file is validated
+// against the plan.
+func Merge(dir string, m *Manifest) ([]RunRecord, error) {
+	return MergeStore(NewDirStore(dir), m)
 }
 
 // MergeDir loads a sweep directory without re-running anything: manifest

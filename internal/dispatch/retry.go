@@ -1,0 +1,54 @@
+package dispatch
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy governs per-shard retry when a launch fails: a worker host
+// dying mid-shard costs one backoff delay and a re-lease (to a different
+// host when the launcher has one), not the sweep. Because shard results
+// commit atomically, a retried shard re-runs from its start with no partial
+// state to reconcile — the same property that makes resume-after-interrupt
+// safe makes retry safe.
+type RetryPolicy struct {
+	// Attempts is the total number of leases a shard may take, including
+	// the first (<= 0 selects 1: no retry).
+	Attempts int
+	// BaseDelay seeds the exponential backoff (<= 0 selects 250ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (<= 0 selects 15s).
+	MaxDelay time.Duration
+}
+
+// withDefaults resolves the zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 250 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 15 * time.Second
+	}
+	return p
+}
+
+// Backoff returns the delay before retry number retry (0-based: the delay
+// between the first failure and the second lease is Backoff(0)). The
+// schedule is exponential — BaseDelay doubled per retry, capped at
+// MaxDelay — with half-width uniform jitter, so shards orphaned together
+// by one dead host do not re-lease in lockstep against the survivors.
+func (p RetryPolicy) Backoff(retry int) time.Duration {
+	p = p.withDefaults()
+	d := p.BaseDelay
+	for i := 0; i < retry && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}

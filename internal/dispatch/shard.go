@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -61,14 +62,29 @@ func recordFromResult(spec JobSpec, res sim.Result) RunRecord {
 }
 
 // workloadCache generates each distinct workload once per shard run. For
-// streamed specs it builds (and validates the trace file against) only the
-// program image: the trace itself is windowed per job by the sim layer, so
-// the shard never materialises or regenerates the full record stream.
-type workloadCache map[string]*workload.Workload
+// streamed specs it builds (and validates the trace container against) only
+// the program image: the trace itself is windowed per job by the sim layer,
+// so the shard never materialises or regenerates the full record stream.
+// When a Store is attached, trace containers are resolved through it (a
+// remote worker fetches them by workload fingerprint); without one the
+// spec's TraceFile is used as a shared-filesystem path directly.
+type workloadCache struct {
+	store     Store
+	workloads map[string]*workload.Workload
+	traces    map[string]string // spec.TraceFile -> resolved local path
+}
 
-func (wc workloadCache) get(spec JobSpec) (*workload.Workload, error) {
+func newWorkloadCache(st Store) *workloadCache {
+	return &workloadCache{
+		store:     st,
+		workloads: make(map[string]*workload.Workload),
+		traces:    make(map[string]string),
+	}
+}
+
+func (wc *workloadCache) get(spec JobSpec) (*workload.Workload, error) {
 	key := spec.WorkloadKey()
-	if w, ok := wc[key]; ok {
+	if w, ok := wc.workloads[key]; ok {
 		return w, nil
 	}
 	p, err := workload.ProfileByName(spec.Profile)
@@ -82,7 +98,11 @@ func (wc workloadCache) get(spec JobSpec) (*workload.Workload, error) {
 			return nil, err
 		}
 		w = &workload.Workload{Name: p.Name, Profile: p, Dict: dict}
-		if err := validateTraceFile(spec, w); err != nil {
+		local, err := wc.resolveTrace(spec, w)
+		if err != nil {
+			return nil, err
+		}
+		if err := validateTraceFile(spec, local, w); err != nil {
 			return nil, err
 		}
 	} else {
@@ -91,23 +111,51 @@ func (wc workloadCache) get(spec JobSpec) (*workload.Workload, error) {
 			return nil, err
 		}
 	}
-	wc[key] = w
+	wc.workloads[key] = w
 	return w, nil
 }
+
+// resolveTrace maps a spec's trace-container reference to a local file path,
+// fetching it from the store by the workload's generation fingerprint when
+// the store is remote. A reference that is already readable on this host
+// with the right fingerprint is used in place — the orchestrator's own
+// in-process shards must not re-download a container sitting next to them.
+// The resolution is cached per reference so a shard fetches each shared
+// container at most once.
+func (wc *workloadCache) resolveTrace(spec JobSpec, w *workload.Workload) (string, error) {
+	if local, ok := wc.traces[spec.TraceFile]; ok {
+		return local, nil
+	}
+	fp := workload.Fingerprint(w.Profile, w.Dict)
+	local := spec.TraceFile
+	if wc.store != nil && !cachedTrace(local, fp) {
+		var err error
+		local, err = wc.store.FetchTrace(spec.TraceFile, fp)
+		if err != nil {
+			return "", err
+		}
+	}
+	wc.traces[spec.TraceFile] = local
+	return local, nil
+}
+
+// tracePath returns the resolved local path of a spec's trace container;
+// resolveTrace must have run for it (get does so for every streamed spec).
+func (wc *workloadCache) tracePath(name string) string { return wc.traces[name] }
 
 // validateTraceFile checks a streamed spec's container against the spec
 // before any simulation starts: the shared stream validation (workload name
 // + generation fingerprint) plus the exact record count, so a shard pointed
 // at the wrong (or differently sized) trace fails up front instead of
 // producing results that silently disagree with the regenerating path.
-func validateTraceFile(spec JobSpec, w *workload.Workload) error {
-	rd, err := tracefile.Open(spec.TraceFile)
+func validateTraceFile(spec JobSpec, local string, w *workload.Workload) error {
+	rd, err := tracefile.Open(local)
 	if err != nil {
 		return err
 	}
 	defer rd.Close()
 	if err := sim.ValidateStream(rd, w); err != nil {
-		return fmt.Errorf("dispatch: trace file %s: %w", spec.TraceFile, err)
+		return fmt.Errorf("dispatch: trace file %s: %w", local, err)
 	}
 	// Grid specs describe a generation from record 0: a mid-trace slice
 	// holds real records of the right workload but a different interval
@@ -116,11 +164,11 @@ func validateTraceFile(spec JobSpec, w *workload.Workload) error {
 	// `clgpsim run -tracefile` instead.
 	if rd.Origin() != 0 {
 		return fmt.Errorf("dispatch: trace file %s is a mid-trace slice starting at record %d; grid specs need a from-the-start recording",
-			spec.TraceFile, rd.Origin())
+			local, rd.Origin())
 	}
 	if rd.Len() != spec.Insts {
 		return fmt.Errorf("dispatch: trace file %s holds %d records, spec wants %d",
-			spec.TraceFile, rd.Len(), spec.Insts)
+			local, rd.Len(), spec.Insts)
 	}
 	return nil
 }
@@ -128,13 +176,25 @@ func validateTraceFile(spec JobSpec, w *workload.Workload) error {
 // RunShard executes shard id of the manifest with the given sim worker-pool
 // size and returns one record per job, in shard order. Individual job
 // failures are reported inside their records; only infrastructure failures
-// (unknown shard, workload generation) return an error.
+// (unknown shard, workload generation) return an error. Trace containers
+// are opened as shared-filesystem paths; workers running against a remote
+// store use RunShardStore.
 func RunShard(m *Manifest, id, workers int) ([]RunRecord, error) {
+	return RunShardStore(nil, m, id, workers)
+}
+
+// RunShardStore is RunShard with trace containers resolved through a store:
+// streamed specs fetch their shared container by workload fingerprint (and
+// cache it locally) instead of assuming a shared filesystem. A nil store
+// behaves like RunShard. Result records always carry the original spec —
+// including its TraceFile reference, not the fetched local path — so shard
+// files merge identically whichever backend ran them.
+func RunShardStore(st Store, m *Manifest, id, workers int) ([]RunRecord, error) {
 	if id < 0 || id >= len(m.Shards) {
 		return nil, fmt.Errorf("dispatch: shard %d out of range (manifest has %d)", id, len(m.Shards))
 	}
 	sp := m.Shards[id]
-	cache := make(workloadCache)
+	cache := newWorkloadCache(st)
 	jobs := make([]sim.Job, len(sp.Specs))
 	for i, spec := range sp.Specs {
 		w, err := cache.get(spec)
@@ -144,6 +204,11 @@ func RunShard(m *Manifest, id, workers int) ([]RunRecord, error) {
 		jobs[i], err = spec.SimJob(w)
 		if err != nil {
 			return nil, fmt.Errorf("dispatch: shard %s: %w", sp.Name, err)
+		}
+		if spec.TraceFile != "" {
+			// The sim layer opens the container per job; point it at the
+			// locally resolved copy, not the store-relative reference.
+			jobs[i].TraceFile = cache.tracePath(spec.TraceFile)
 		}
 	}
 	results := sim.Runner{Workers: workers}.Run(jobs)
@@ -159,58 +224,28 @@ func shardFilePath(dir string, sp ShardPlan) string {
 	return filepath.Join(dir, ShardsDir, sp.Name+".jsonl")
 }
 
-// WriteShardResults persists a shard's records as JSONL. The file is
-// written under a temporary name and renamed into place, so a result file
-// either exists complete or not at all — the rename is the shard's
-// completion marker, and a worker killed mid-write leaves no partial state
-// that a resumed sweep could mistake for a finished shard.
-func WriteShardResults(dir string, sp ShardPlan, recs []RunRecord) error {
+// encodeShardResults renders a shard's records in the on-store JSONL form
+// (one JSON object per line, in shard order). Both backends commit exactly
+// these bytes.
+func encodeShardResults(sp ShardPlan, recs []RunRecord) ([]byte, error) {
 	if len(recs) != len(sp.Specs) {
-		return fmt.Errorf("dispatch: shard %s: %d records for %d jobs", sp.Name, len(recs), len(sp.Specs))
+		return nil, fmt.Errorf("dispatch: shard %s: %d records for %d jobs", sp.Name, len(recs), len(sp.Specs))
 	}
-	final := shardFilePath(dir, sp)
-	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
-		return fmt.Errorf("dispatch: creating shards directory: %w", err)
-	}
-	tmp := final + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("dispatch: writing shard %s: %w", sp.Name, err)
-	}
-	bw := bufio.NewWriter(f)
-	enc := json.NewEncoder(bw)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	for _, rec := range recs {
 		if err := enc.Encode(rec); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return fmt.Errorf("dispatch: encoding shard %s: %w", sp.Name, err)
+			return nil, fmt.Errorf("dispatch: encoding shard %s: %w", sp.Name, err)
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("dispatch: flushing shard %s: %w", sp.Name, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("dispatch: closing shard %s: %w", sp.Name, err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		return fmt.Errorf("dispatch: committing shard %s: %w", sp.Name, err)
-	}
-	return nil
+	return buf.Bytes(), nil
 }
 
-// LoadShardResults reads a completed shard's records and validates them
-// against the plan (count and job labels, in order).
-func LoadShardResults(dir string, sp ShardPlan) ([]RunRecord, error) {
-	f, err := os.Open(shardFilePath(dir, sp))
-	if err != nil {
-		return nil, fmt.Errorf("dispatch: reading shard %s: %w", sp.Name, err)
-	}
-	defer f.Close()
+// parseShardResults decodes shard JSONL bytes and validates them against
+// the plan (count, job labels and full specs, in order).
+func parseShardResults(sp ShardPlan, data []byte) ([]RunRecord, error) {
 	recs := make([]RunRecord, 0, len(sp.Specs))
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -242,6 +277,41 @@ func LoadShardResults(dir string, sp ShardPlan) ([]RunRecord, error) {
 		}
 	}
 	return recs, nil
+}
+
+// WriteShardResults persists a shard's records as JSONL. The file is
+// written under a temporary name and renamed into place, so a result file
+// either exists complete or not at all — the rename is the shard's
+// completion marker, and a worker killed mid-write leaves no partial state
+// that a resumed sweep could mistake for a finished shard.
+func WriteShardResults(dir string, sp ShardPlan, recs []RunRecord) error {
+	data, err := encodeShardResults(sp, recs)
+	if err != nil {
+		return err
+	}
+	final := shardFilePath(dir, sp)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("dispatch: creating shards directory: %w", err)
+	}
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dispatch: writing shard %s: %w", sp.Name, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("dispatch: committing shard %s: %w", sp.Name, err)
+	}
+	return nil
+}
+
+// LoadShardResults reads a completed shard's records and validates them
+// against the plan (count and job labels, in order).
+func LoadShardResults(dir string, sp ShardPlan) ([]RunRecord, error) {
+	data, err := os.ReadFile(shardFilePath(dir, sp))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: reading shard %s: %w", sp.Name, err)
+	}
+	return parseShardResults(sp, data)
 }
 
 // ShardComplete reports whether the shard's result file exists. Because

@@ -1,17 +1,3 @@
-// Package dispatch is the sweep orchestration layer of the simulator: it
-// turns a full evaluation grid (profiles × engines × L0 variants × cache
-// sizes × technology nodes) into named, serialisable work units (shards),
-// executes the shards either in-process or as re-exec'd child worker
-// processes, persists one JSONL result file per shard so an interrupted
-// sweep resumes by skipping completed shards, and merges the shard results
-// back into the `internal/sim` Summary/BenchRecord path.
-//
-// The on-disk protocol is deliberately plain — a manifest.json describing
-// the shard plan plus one results JSONL per shard, completed atomically via
-// rename — so a future multi-host mode only needs a shared directory (or an
-// object store with the same two verbs) and a way to start `clgpsim worker
-// --shard=N` on each host; nothing in the format is process- or
-// machine-local.
 package dispatch
 
 import (

@@ -1,0 +1,157 @@
+package dispatch
+
+import (
+	"fmt"
+	"os/exec"
+	"sync"
+)
+
+// SSHLauncher executes shards as `clgpsim worker` processes on a list of
+// remote hosts, over plain ssh — no daemon, no scheduler, just the worker
+// contract every other launcher uses. Each host runs up to PerHost shards
+// at a time; the launcher hands a shard the least-loaded host that is not
+// in the lease's excluded set, so a retried shard lands on a different
+// machine than the one that just failed it whenever one exists.
+//
+// The store must be reachable from the remote hosts — in practice an
+// ObjectStore URL, or a DirStore on a filesystem every host mounts at the
+// same path. The remote host needs the clgpsim binary on its PATH (or at
+// Remote) and non-interactive ssh (keys/agent); there is no file staging
+// beyond what the store protocol itself carries.
+type SSHLauncher struct {
+	// Hosts are the ssh destinations ("host" or "user@host").
+	Hosts []string
+	// PerHost is the number of concurrent shards per host (<= 0 selects 1).
+	PerHost int
+	// SSH is the ssh client binary; empty selects "ssh".
+	SSH string
+	// SSHArgs are extra client flags inserted before the destination, e.g.
+	// {"-o", "BatchMode=yes"}.
+	SSHArgs []string
+	// Remote is the clgpsim binary on the remote hosts; empty selects
+	// "clgpsim".
+	Remote string
+	// Argv overrides the remote worker argv (tests use it); nil builds
+	// `<Remote> worker -store <loc> -shard N -workers W`.
+	Argv func(store string, shard, workers int) []string
+	// Store locates the sweep for the remote workers.
+	Store Store
+	// Workers is the sim worker-pool size per remote worker. With
+	// PerHost == 1, 0 lets the remote host size its own pool (remote
+	// machines are not this machine, so no local CPU division applies).
+	// With PerHost > 1 it must be set explicitly: this side cannot know
+	// the remote core count to divide, and forwarding 0 would let every
+	// concurrent worker claim the whole host — Launch rejects that
+	// combination instead of oversubscribing silently.
+	Workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inUse  map[string]int
+	inited bool
+}
+
+func (l *SSHLauncher) perHost() int {
+	if l.PerHost > 0 {
+		return l.PerHost
+	}
+	return 1
+}
+
+// Slots implements Launcher: total concurrent shards over all hosts.
+func (l *SSHLauncher) Slots() int { return len(l.Hosts) * l.perHost() }
+
+func (l *SSHLauncher) init() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.inited {
+		l.cond = sync.NewCond(&l.mu)
+		l.inUse = make(map[string]int, len(l.Hosts))
+		l.inited = true
+	}
+}
+
+// acquire blocks until a host with a free slot is available and claims it.
+// Excluded hosts are skipped while any non-excluded host exists; when the
+// exclusion covers every host (a small host list that all failed the
+// shard), it is ignored — retrying somewhere beats never retrying.
+func (l *SSHLauncher) acquire(exclude map[string]bool) string {
+	l.init()
+	allExcluded := true
+	for _, h := range l.Hosts {
+		if !exclude[h] {
+			allExcluded = false
+			break
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		best := ""
+		for _, h := range l.Hosts {
+			if exclude[h] && !allExcluded {
+				continue
+			}
+			if l.inUse[h] < l.perHost() && (best == "" || l.inUse[h] < l.inUse[best]) {
+				best = h
+			}
+		}
+		if best != "" {
+			l.inUse[best]++
+			return best
+		}
+		l.cond.Wait()
+	}
+}
+
+func (l *SSHLauncher) release(host string) {
+	l.mu.Lock()
+	l.inUse[host]--
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Validate checks the launcher's configuration. The orchestrator calls it
+// before planning anything, so a flag mistake fails the sweep immediately
+// instead of being pushed through every shard's retry schedule.
+func (l *SSHLauncher) Validate() error {
+	if len(l.Hosts) == 0 {
+		return fmt.Errorf("dispatch: ssh launcher has no hosts")
+	}
+	if l.perHost() > 1 && l.Workers <= 0 {
+		return fmt.Errorf("dispatch: ssh launcher with %d workers per host needs an explicit Workers pool size (0 would let each worker claim the whole host)", l.perHost())
+	}
+	return nil
+}
+
+// Launch implements Launcher.
+func (l *SSHLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) (string, error) {
+	if err := l.Validate(); err != nil {
+		return "", err
+	}
+	host := l.acquire(exclude)
+	defer l.release(host)
+
+	argvFor := l.Argv
+	if argvFor == nil {
+		remote := l.Remote
+		if remote == "" {
+			remote = "clgpsim"
+		}
+		argvFor = func(store string, shard, workers int) []string {
+			return WorkerArgv(remote, store, shard, workers)
+		}
+	}
+	ssh := l.SSH
+	if ssh == "" {
+		ssh = "ssh"
+	}
+	args := append(append([]string{}, l.SSHArgs...), host)
+	args = append(args, argvFor(l.Store.Location(), shard, l.Workers)...)
+	cmd := exec.Command(ssh, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return host, fmt.Errorf("dispatch: worker for %s on %s failed: %w\n%s", m.Shards[shard].Name, host, err, out)
+	}
+	return host, nil
+}

@@ -354,6 +354,12 @@ type BenchRecord struct {
 	// SpeedupVsSerial is the wall-clock speedup over the serial record of
 	// the same batch (0 when not applicable).
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	// ShardsPerSec is the dispatch-level shard throughput of a sharded
+	// sweep (0 when the batch was not sharded).
+	ShardsPerSec float64 `json:"shards_per_sec,omitempty"`
+	// Retries is the number of extra shard leases a sharded sweep took
+	// after worker failures (0 on a fault-free or unsharded batch).
+	Retries int `json:"retries,omitempty"`
 }
 
 // RecordFromSummary converts a Summary to a BenchRecord.

@@ -266,9 +266,9 @@ func FuzzOpen(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid)
-	f.Add(valid[:len(valid)-1])          // truncated trailer
-	f.Add(valid[:len(valid)/3])          // truncated chunks
-	f.Add(valid[:headerFixedLen])        // header only
+	f.Add(valid[:len(valid)-1])                         // truncated trailer
+	f.Add(valid[:len(valid)/3])                         // truncated chunks
+	f.Add(valid[:headerFixedLen])                       // header only
 	f.Add(append([]byte(nil), valid[len(valid)/2:]...)) // missing header
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
