@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke run sweep figures stream-smoke remote-smoke clean
+.PHONY: all build test test-race vet bench bench-smoke bench-gate run sweep figures stream-smoke remote-smoke clean
 
 all: vet build test
 
@@ -25,6 +25,15 @@ bench:
 # to catch regressions in the allocation-free invariant.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 100x -benchmem ./...
+
+# The cycle-engine perf gate: re-measure every (profile x engine) grid point
+# in both clock modes and compare against the committed BENCH_core.json —
+# calibration-scaled ns/cycle must stay within 10% (+ a small absolute noise
+# floor), the event-horizon speedup must hold on the miss-heavy profiles, no
+# profile may be slower than the per-cycle path, and the loop must not
+# allocate. Mirrors CI's bench-gate job.
+bench-gate:
+	$(GO) run ./cmd/clgpsim bench -grid=false -core-json BENCH_core.fresh.json -gate BENCH_core.json -max-regress 0.10
 
 run:
 	$(GO) run ./cmd/clgpsim run -profile gcc -insts 200000 -engine clgp -l1 2048 -l0
@@ -66,5 +75,5 @@ remote-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_*.json
+	rm -f $(filter-out BENCH_core.json,$(wildcard BENCH_*.json))
 	rm -rf clgp-figures

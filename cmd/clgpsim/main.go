@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	clgpsim run     [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0] [-tracefile F -window N]
-//	clgpsim sweep   [-profile gcc] [-insts 200000] [-tech 90] [-workers 0] [-json BENCH_sweep.json] [-tracefile F -window N] [-store URL]
-//	clgpsim bench   [-profile gcc] [-insts 100000] [-workers 0] [-json BENCH_clgpsim.json]
+//	clgpsim run     [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0] [-tracefile F -window N] [-no-skip] [-cpuprofile F] [-memprofile F]
+//	clgpsim sweep   [-profile gcc] [-insts 200000] [-tech 90] [-workers 0] [-json BENCH_sweep.json] [-tracefile F -window N] [-store URL] [-cpuprofile F] [-memprofile F]
+//	clgpsim bench   [-profile gcc] [-insts 100000] [-workers 0] [-json BENCH_clgpsim.json] [-grid=t|f] [-core-json BENCH_core.json] [-core-insts 200000] [-gate BASELINE.json] [-max-regress 0.10]
 //	clgpsim figures [-insts 200000] [-techs 90,45] [-profiles ...] [-dir clgp-figures] [-shards 0] [-exec] [-resume] [-store URL] [-ssh h1,h2] [-retries 1]
 //	clgpsim worker  -store LOC -shard N [-workers 0]
 //	clgpsim store   serve [-dir clgp-store] [-addr 127.0.0.1:8420] [-addr-file F]
@@ -19,6 +19,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"clgp/internal/cacti"
@@ -79,6 +81,50 @@ commands:
 `)
 }
 
+// startProfiles starts CPU profiling and arms heap profiling per the
+// -cpuprofile/-memprofile flags. The returned stop must run on exit (after
+// the simulation): it finishes the CPU profile and snapshots the heap.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("starting cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialise a settled heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("writing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
+
+// profileFlags registers the shared -cpuprofile/-memprofile flags.
+func profileFlags(fs *flag.FlagSet) (cpu, mem *string) {
+	cpu = fs.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this path")
+	mem = fs.String("memprofile", "", "write a pprof heap profile (taken on exit) to this path")
+	return cpu, mem
+}
+
 // loadWorkload generates the named synthetic benchmark.
 func loadWorkload(profile string, insts int, seed int64) (*workload.Workload, error) {
 	p, err := workload.ProfileByName(profile)
@@ -101,9 +147,21 @@ func cmdRun(args []string) error {
 	ideal := fs.Bool("ideal", false, "ideal (one-cycle) instruction cache")
 	traceFile := fs.String("tracefile", "", "stream the trace from this recorded container (overrides -profile/-insts/-seed)")
 	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
+	noSkip := fs.Bool("no-skip", false, "tick every cycle instead of fast-forwarding over event horizons (bit-identical results, reference mode)")
+	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintf(os.Stderr, "clgpsim: profile: %v\n", perr)
+		}
+	}()
 
 	tn, err := cacti.ParseTech(*tech)
 	if err != nil {
@@ -142,7 +200,7 @@ func cmdRun(args []string) error {
 	}
 	cfg := core.Config{
 		Tech: tn, L1ISize: *l1, Engine: ek, UseL0: *useL0,
-		PreBufferEntries: *pb, IdealICache: *ideal,
+		PreBufferEntries: *pb, IdealICache: *ideal, NoSkip: *noSkip,
 	}
 	eng, err := core.NewEngine(cfg, w.Dict, tr)
 	if err != nil {
@@ -159,6 +217,11 @@ func cmdRun(args []string) error {
 		fmt.Printf("  trace window:         %d records resident max (cap %d, %d source reads)\n",
 			wt.MaxResident(), wt.Cap(), wt.SourceReads())
 	}
+	// The skipped-cycle count is deterministic (it depends only on the
+	// simulated machine state, never on the host), so runs that must diff
+	// bit-identically — streamed vs in-memory — print identical lines.
+	fmt.Printf("  clock:                %d cycles fast-forwarded (%.1f%%)\n",
+		eng.SkippedCycles(), 100*float64(eng.SkippedCycles())/float64(r.Cycles))
 	fmt.Printf("  wall time:            %v (%.0f cycles/sec)\n",
 		wall.Round(time.Millisecond), float64(r.Cycles)/wall.Seconds())
 	return nil
@@ -176,9 +239,20 @@ func cmdSweep(args []string) error {
 	traceFile := fs.String("tracefile", "", "stream every job's trace from this recorded container (its header supplies the workload, overriding -profile/-insts/-seed)")
 	storeFlag := fs.String("store", "", "fetch the streamed trace container from this object store (http(s) URL) by (-profile, -seed) fingerprint")
 	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
+	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintf(os.Stderr, "clgpsim: profile: %v\n", perr)
+		}
+	}()
 
 	tn, err := cacti.ParseTech(*tech)
 	if err != nil {
@@ -283,11 +357,61 @@ func cmdBench(args []string) error {
 	seed := fs.Int64("seed", 1, "workload generation seed")
 	workers := fs.Int("workers", 0, "parallel worker pool size (0 = GOMAXPROCS)")
 	jsonPath := fs.String("json", "BENCH_clgpsim.json", "BENCH output path (empty = skip)")
+	grid := fs.Bool("grid", true, "run the sweep-grid throughput benches (serial/parallel/streamed)")
+	coreJSON := fs.String("core-json", "BENCH_core.json", "per-engine hot-loop BENCH output path (empty = skip the core bench)")
+	coreInsts := fs.Int("core-insts", 200_000, "trace length for the core engine bench")
+	gatePath := fs.String("gate", "", "gate the core bench against this committed BENCH_core.json baseline (non-zero exit on regression)")
+	maxRegress := fs.Float64("max-regress", 0.10, "tolerated ns/cycle growth over the calibrated baseline when gating")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *grid {
+		if err := benchGrid(*profile, *insts, *seed, *workers, *jsonPath); err != nil {
+			return err
+		}
+	}
+	if *coreJSON == "" && *gatePath == "" {
+		return nil
+	}
+	fmt.Printf("core engine bench: %s x %d engines, %d insts (skip vs no-skip)\n",
+		strings.Join(sim.CoreBenchProfiles, "/"), len(sim.CoreBenchEngines), *coreInsts)
+	cb, err := sim.MeasureCore(nil, nil, *coreInsts, *seed)
+	if err != nil {
+		return err
+	}
+	var baseline *sim.CoreBench
+	if *gatePath != "" {
+		baseline, err = sim.LoadCoreBench(*gatePath)
+		if err != nil {
+			return fmt.Errorf("loading gate baseline: %w", err)
+		}
+	}
+	fmt.Print(sim.FormatCoreComparison(baseline, cb))
+	if *coreJSON != "" {
+		if err := sim.WriteCoreBench(*coreJSON, cb); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *coreJSON)
+	}
+	if baseline != nil {
+		lim := sim.DefaultGateLimits()
+		lim.MaxRegress = *maxRegress
+		if bad := sim.Gate(baseline, cb, lim); len(bad) > 0 {
+			for _, p := range bad {
+				fmt.Fprintf(os.Stderr, "bench gate: %s\n", p)
+			}
+			return fmt.Errorf("bench gate: %d violation(s) against %s", len(bad), *gatePath)
+		}
+		fmt.Printf("bench gate: pass (%d grid points within %.0f%% of %s)\n",
+			len(cb.Records), 100**maxRegress, *gatePath)
+	}
+	return nil
+}
 
-	w, err := loadWorkload(*profile, *insts, *seed)
+// benchGrid is the original sweep-throughput benchmark: the 16-config grid
+// serial, parallel and streamed from a recorded container.
+func benchGrid(profile string, insts int, seed int64, workers int, jsonPath string) error {
+	w, err := loadWorkload(profile, insts, seed)
 	if err != nil {
 		return err
 	}
@@ -295,7 +419,7 @@ func cmdBench(args []string) error {
 		[]int{1 << 10, 2 << 10, 4 << 10, 8 << 10},
 		[]core.EngineKind{core.EngineNone, core.EngineNextN, core.EngineFDP, core.EngineCLGP},
 		false, 0)
-	fmt.Printf("benchmarking %d-config grid over %s (%d insts)\n", len(jobs), w.Name, *insts)
+	fmt.Printf("benchmarking %d-config grid over %s (%d insts)\n", len(jobs), w.Name, insts)
 
 	start := time.Now()
 	serialRes := sim.Runner{Workers: 1}.Run(jobs)
@@ -304,7 +428,7 @@ func cmdBench(args []string) error {
 	fmt.Printf("serial:   %8v  %12.0f cycles/sec  %6.2f sims/sec\n",
 		serialWall.Round(time.Millisecond), serialSum.CyclesPerSec(), serialSum.SimsPerSec())
 
-	runner := sim.Runner{Workers: *workers}
+	runner := sim.Runner{Workers: workers}
 	start = time.Now()
 	parRes := runner.Run(jobs)
 	parWall := time.Since(start)
@@ -319,7 +443,7 @@ func cmdBench(args []string) error {
 
 	// The same grid streamed from a recorded container instead of the
 	// in-memory trace: the perf trajectory of the trace-I/O path.
-	streamSum, err := benchStreamedGrid(w, *seed, *insts, jobs, runner)
+	streamSum, err := benchStreamedGrid(w, seed, insts, jobs, runner)
 	if err != nil {
 		return err
 	}
@@ -333,15 +457,15 @@ func cmdBench(args []string) error {
 		}
 	}
 
-	if *jsonPath != "" {
+	if jsonPath != "" {
 		serialRec := sim.RecordFromSummary("grid-serial", 1, serialSum)
 		parRec := sim.RecordFromSummary("grid-parallel", runner.EffectiveWorkers(), parSum)
 		parRec.SpeedupVsSerial = speedup
 		streamRec := sim.RecordFromSummary("grid-streamed", runner.EffectiveWorkers(), streamSum)
-		if err := sim.WriteBenchJSON(*jsonPath, []sim.BenchRecord{serialRec, parRec, streamRec}); err != nil {
+		if err := sim.WriteBenchJSON(jsonPath, []sim.BenchRecord{serialRec, parRec, streamRec}); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", *jsonPath)
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 	return nil
 }

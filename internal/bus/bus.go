@@ -5,7 +5,11 @@
 // when no higher-priority request wants the bus in the same cycle.
 package bus
 
-import "fmt"
+import (
+	"fmt"
+
+	"clgp/internal/clock"
+)
 
 // Requester identifies the origin of a bus request, in priority order
 // (lower value = higher priority).
@@ -149,6 +153,16 @@ func (a *Arbiter) Grant(now uint64) (Request, bool) {
 		return req, true
 	}
 	return Request{}, false
+}
+
+// NextEvent implements the clock contract: the bus grants one request per
+// cycle, so any queued request is same-cycle work; an empty arbiter has no
+// events of its own (scheduled completion times belong to request owners).
+func (a *Arbiter) NextEvent(now uint64) uint64 {
+	if a.Pending() > 0 {
+		return now
+	}
+	return clock.None
 }
 
 // Flush drops all pending requests from one requester class (used when the

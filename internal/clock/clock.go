@@ -1,0 +1,31 @@
+// Package clock defines the next-event contract shared by the simulator's
+// clocked components.
+//
+// Every component that participates in the cycle loop — the memory bus, the
+// prefetch engines, the back-end pipeline — exposes
+//
+//	NextEvent(now uint64) uint64
+//
+// returning the earliest cycle, at or after now, at which ticking the
+// component could change any observable state. A component with pending
+// same-cycle work returns now; a component sleeping until a scheduled
+// completion returns that completion cycle; a completely idle component
+// returns None. The value may be conservatively early (the caller simply
+// ticks a few no-op cycles), but it must never be late: skipping past a real
+// event would desynchronise the skipped clock from the per-cycle reference
+// and break the bit-identical-results guarantee the core engine's
+// event-horizon fast-forward relies on.
+package clock
+
+// None is the horizon reported by a component with no pending or scheduled
+// work: no cycle, however far in the future, will change its state without
+// external input.
+const None = ^uint64(0)
+
+// Min returns the earlier of two horizons.
+func Min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -90,6 +90,13 @@ type Config struct {
 	// the predictor restarting on the correct path.
 	RedirectPenalty int
 
+	// NoSkip disables the event-horizon clock and ticks every cycle
+	// individually (the reference mode). Results are bit-identical either
+	// way — skipping is purely a simulator-speed optimisation — so NoSkip
+	// exists for equivalence tests and as the ns/cycle baseline the perf
+	// gate measures the fast-forward win against.
+	NoSkip bool
+
 	// Backend and Predictor allow overriding the defaults (Table 2 values
 	// are used when zero).
 	Backend   pipeline.Config

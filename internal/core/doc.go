@@ -31,11 +31,22 @@
 // the recovery checkpoint reuses its storage (BenchmarkEngineCycle holds
 // the 0 allocs/op line).
 //
+// # Clocking
+//
+// The clock is next-event driven: after ticking a cycle, Step collects
+// every component's NextEvent horizon (package clock) and, when no
+// same-cycle work exists anywhere, fast-forwards straight to the earliest
+// one. Skipped cycles are provably no-ops, so results are bit-identical to
+// the per-cycle reference path (Config.NoSkip) — on miss-heavy workloads
+// most simulated cycles are DRAM waits and the fast-forward is a multi-x
+// throughput win, measured per grid point in BENCH_core.json and gated in
+// CI. See ARCHITECTURE.md, "Clocking & event horizons".
+//
 // # Trace input
 //
 // The engine reads its committed-path input through the narrow TraceSource
-// interface — At/Len plus the per-cycle Advance(frontier) eviction hook —
-// so an in-memory trace and a bounded window over an on-disk container
-// (trace.WindowTrace over a tracefile.Reader) are interchangeable and
-// bit-identical in results.
+// interface — At/Len plus the Advance(frontier) eviction hook, called
+// whenever the commit frontier moves — so an in-memory trace and a bounded
+// window over an on-disk container (trace.WindowTrace over a
+// tracefile.Reader) are interchangeable and bit-identical in results.
 package core

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"clgp/internal/bpred"
+	"clgp/internal/clock"
 	"clgp/internal/ftq"
 	"clgp/internal/isa"
 	"clgp/internal/memory"
@@ -51,6 +52,20 @@ type Engine struct {
 	maxCycles uint64
 	done      bool
 	err       error
+
+	// trLen caches tr.Len() (immutable for the engine's lifetime) so the
+	// per-cycle prediction stage does not pay an interface dispatch for it.
+	trLen int
+	// lastCommitted mirrors backend.Committed() as of the end of the last
+	// Step; tr.Advance and the windowed-trace eviction it drives fire only
+	// when the commit frontier actually moved.
+	lastCommitted uint64
+
+	// Event-horizon clock state: noSkip pins the engine to the per-cycle
+	// reference path; skipped counts the cycles fast-forwarded over (they
+	// are still part of e.cycle — results are bit-identical either way).
+	noSkip  bool
+	skipped uint64
 
 	// Prediction state. predCursor indexes the next trace record not yet
 	// consumed by a correct-path prediction; on the wrong path the predictor
@@ -117,9 +132,16 @@ type blockMeta struct {
 }
 
 // dispatchQueueCap bounds the fetched-but-not-dispatched window; a fetch
-// line holds at most 16 instructions, so fetch stalls when fewer than 16
-// slots are free.
+// line holds at most fetchLineHeadroom instructions, so fetch stalls when
+// fewer than that many slots are free.
 const dispatchQueueCap = 64
+
+// fetchLineHeadroom is the dispatch-queue space a line fetch may need on
+// delivery (64B line / 4B instructions). fetchStage's start condition and
+// skipToNextEvent's same-cycle-work check share it: if they diverged, the
+// skip path could jump over a cycle where fetch would start a line and
+// break the bit-identical-results guarantee.
+const fetchLineHeadroom = 16
 
 // blockMetaRing must exceed the maximum number of in-flight fetch blocks
 // (queue capacity plus the block being fetched).
@@ -174,6 +196,8 @@ func NewEngine(cfg Config, dict *isa.Dictionary, tr TraceSource) (*Engine, error
 		// An IPC below 1/500 over a whole run means the simulation wedged;
 		// treat it as an internal error instead of spinning forever.
 		maxCycles: 500*target + 1_000_000,
+		trLen:     tr.Len(),
+		noSkip:    cfg.NoSkip,
 		blockMeta: make([]blockMeta, blockMetaRing),
 		dq:        make([]*pipeline.DynInst, dispatchQueueCap),
 		pool:      pipeline.NewPool(),
@@ -216,8 +240,16 @@ func buildPrefetchEngine(cfg Config, mem *memory.Hierarchy) (prefetch.Engine, er
 // Config returns the normalised configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Cycles returns the number of simulated cycles so far.
+// Cycles returns the number of simulated cycles so far, including cycles the
+// event-horizon clock fast-forwarded over.
 func (e *Engine) Cycles() uint64 { return e.cycle }
+
+// SkippedCycles returns how many of the simulated cycles were fast-forwarded
+// by the event-horizon clock rather than ticked individually (always 0 with
+// Config.NoSkip). It is a simulator-speed diagnostic, deliberately kept out
+// of stats.Results: the results of a run are bit-identical with and without
+// skipping.
+func (e *Engine) SkippedCycles() uint64 { return e.skipped }
 
 // Committed returns the number of committed instructions so far.
 func (e *Engine) Committed() uint64 { return e.backend.Committed() }
@@ -234,8 +266,17 @@ func (e *Engine) Hierarchy() *memory.Hierarchy { return e.mem }
 // PrefetchEngine exposes the instruction-delivery engine (tests).
 func (e *Engine) PrefetchEngine() prefetch.Engine { return e.eng }
 
-// Step simulates one cycle. It returns false once the simulation is done
-// (target reached, trace exhausted, or an internal error — see Err).
+// Step simulates at least one cycle. It returns false once the simulation is
+// done (target reached, trace exhausted, or an internal error — see Err).
+//
+// After ticking the current cycle, Step consults every component's event
+// horizon (the clock contract, see package clock) and, when no same-cycle
+// work exists anywhere, fast-forwards e.cycle straight to the earliest
+// horizon: the idle cycles it jumps over are provably no-ops, so the results
+// are bit-identical to the per-cycle reference path (Config.NoSkip) — the
+// skipped cycles still elapse on the simulated clock, they just cost nothing
+// to simulate. One Step may therefore advance many cycles; Cycles() is the
+// simulated-time truth, SkippedCycles() the fast-forward credit.
 func (e *Engine) Step() bool {
 	if e.done {
 		return false
@@ -263,26 +304,114 @@ func (e *Engine) Step() bool {
 		e.recoverFromMisprediction(now)
 	}
 	// Committed records are dead to the engine; let windowed trace sources
-	// evict them.
-	e.tr.Advance(int(e.backend.Committed()))
+	// evict them. The frontier only moves on commit, so idle cycles skip
+	// the interface call entirely.
+	if len(committed) > 0 {
+		e.lastCommitted = e.backend.Committed()
+		e.tr.Advance(int(e.lastCommitted))
+	}
 	// 4. Release abandoned wrong-path demand fetches that completed.
 	e.sweepDrain(now)
 	// 5. Fetch: finish the in-flight line, start the next one.
+	preFetched := e.fetched
 	e.fetchStage(now)
 	// 6. Dispatch up to FetchWidth fetched instructions into the RUU.
 	e.dispatchStage(now)
 	// 7. Predict one fetch block into the decoupling queue.
+	preSeqID := e.nextSeqID
 	e.predictStage(now)
 
 	e.cycle++
-	if e.backend.Committed() >= e.target {
+	if e.lastCommitted >= e.target {
 		e.done = true
-	} else if e.cycle >= e.maxCycles {
+		return false
+	}
+	// Attempt a fast-forward only on cycles that did no front-end or commit
+	// work: a machine transitioning into a stall ticks at most one no-op
+	// cycle before the event-horizon clock engages, and busy cycles skip
+	// the horizon computation entirely.
+	if !e.noSkip && len(committed) == 0 && resolved == nil &&
+		e.fetched == preFetched && e.nextSeqID == preSeqID {
+		e.skipToNextEvent()
+	}
+	if e.cycle >= e.maxCycles {
 		e.done = true
 		e.err = fmt.Errorf("core %s: no forward progress after %d cycles (committed %d/%d)",
-			e.cfg.Name, e.cycle, e.backend.Committed(), e.target)
+			e.cfg.Name, e.cycle, e.lastCommitted, e.target)
 	}
 	return !e.done
+}
+
+// skipToNextEvent fast-forwards the clock to the earliest cycle at which any
+// component has work, when the machine is provably idle until then. Each
+// check either finds same-cycle work (return without skipping — the ordinary
+// per-cycle path) or contributes a future horizon; the jump target is the
+// minimum over all of them, clamped to maxCycles so a fully wedged machine
+// reports the same no-forward-progress error at the same cycle as the
+// per-cycle path.
+func (e *Engine) skipToNextEvent() {
+	now := e.cycle
+	// Bus arbitration and the prediction stage are the cheapest and most
+	// frequently live stages: test them first so busy phases exit in O(1).
+	// The hierarchy's horizon is binary: now while anything is queued for a
+	// grant, clock.None otherwise.
+	if e.mem.NextEvent(now) <= now {
+		return
+	}
+	horizon := clock.None
+	if e.wrongPath || e.predCursor < e.trLen {
+		if !e.eng.QueueFull() {
+			if now >= e.predStallUntil {
+				return // the predictor produces a block this cycle
+			}
+			horizon = e.predStallUntil
+		}
+		// Queue full: prediction unblocks via a fetch-stage pop, which the
+		// fetch horizon below already covers.
+	}
+	if e.dqN > 0 && e.backend.FreeSlots() > 0 {
+		return // dispatch moves instructions this cycle
+	}
+	if e.fetchActive {
+		var t uint64
+		if e.fetchReq == nil {
+			t = e.fetchReadyAt
+		} else {
+			t = e.fetchReq.NextEvent(now)
+		}
+		if t <= now {
+			return
+		}
+		horizon = clock.Min(horizon, t)
+	} else if dispatchQueueCap-e.dqN >= fetchLineHeadroom {
+		if _, ok := e.eng.NextFetch(); ok {
+			return // a line fetch starts this cycle
+		}
+	}
+	for _, r := range e.drain {
+		t := r.NextEvent(now)
+		if t <= now {
+			return
+		}
+		horizon = clock.Min(horizon, t)
+	}
+	t := e.eng.NextEvent(now)
+	if t <= now {
+		return
+	}
+	horizon = clock.Min(horizon, t)
+	t = e.backend.NextEvent(now)
+	if t <= now {
+		return
+	}
+	horizon = clock.Min(horizon, t)
+	// A horizon of clock.None means nothing will ever happen again: jump to
+	// the wedge detector, exactly where the per-cycle path would spin to.
+	target := clock.Min(horizon, e.maxCycles)
+	if target > now {
+		e.skipped += target - now
+		e.cycle = target
+	}
 }
 
 // Run simulates until completion and returns the collected results.
@@ -342,7 +471,7 @@ func (e *Engine) predictStage(now uint64) {
 		e.predictWrongPath()
 		return
 	}
-	if e.predCursor < e.tr.Len() {
+	if e.predCursor < e.trLen {
 		e.predictCorrectPath()
 	}
 }
@@ -377,7 +506,7 @@ func (e *Engine) predictCorrectPath() {
 	n := 0
 	next := start
 	end := bpred.EndFallThrough
-	for n < e.maxStream && e.predCursor+n < e.tr.Len() {
+	for n < e.maxStream && e.predCursor+n < e.trLen {
 		rec := e.tr.At(e.predCursor + n)
 		n++
 		next = rec.Target
@@ -508,7 +637,7 @@ func (e *Engine) fetchStage(now uint64) {
 		}
 	}
 	// Start the next line once the dispatch queue can absorb a full line.
-	if e.fetchActive || dispatchQueueCap-e.dqN < 16 {
+	if e.fetchActive || dispatchQueueCap-e.dqN < fetchLineHeadroom {
 		return
 	}
 	fr, ok := e.eng.NextFetch()

@@ -24,6 +24,8 @@ type TraceSource interface {
 	Len() int
 	// Advance reports that records below frontier have committed and will
 	// never be read again; windowed sources use it as their eviction
-	// frontier. Calls are monotonic and cheap (once per cycle).
+	// frontier. Calls are monotonic, and the engine only makes them when
+	// the commit frontier actually moved (commit-less cycles skip the
+	// call).
 	Advance(frontier int)
 }

@@ -326,7 +326,9 @@ func (q *CLTQ) MarkPrefetched(i int) {
 // NextUnprefetched returns the index of the oldest entry whose prefetched
 // bit is clear, or -1 when every queued entry has been processed. The scan
 // resumes from the last known prefetched prefix, so a full walk of the queue
-// happens only once per entry rather than once per cycle.
+// happens only once per entry rather than once per cycle. It is idempotent
+// (the hint only caches the processed prefix), which lets the CLGP engine
+// call it both from Tick and from its NextEvent horizon probe.
 func (q *CLTQ) NextUnprefetched() int {
 	for i := q.scanHint; i < q.n; i++ {
 		if !q.at(i).Prefetched {

@@ -87,6 +87,18 @@ func (r *Request) Ready(now uint64) bool {
 // it back to the hierarchy.
 func (r *Request) Cancelled() bool { return r.cancelled }
 
+// NextEvent returns the cycle at which the request next needs its owner's
+// attention: cancelled and already-ready requests are same-cycle work,
+// unscheduled ones are waiting on a bus grant (also same-cycle — the bus
+// arbitrates every cycle they are queued), and scheduled ones sleep until
+// their data arrives.
+func (r *Request) NextEvent(now uint64) uint64 {
+	if r.cancelled || !r.scheduled || r.readyAt <= now {
+		return now
+	}
+	return r.readyAt
+}
+
 // Config describes the hierarchy for one simulated configuration.
 type Config struct {
 	// Tech selects the technology node (latencies via cacti).
@@ -530,6 +542,13 @@ func (h *Hierarchy) schedule(r *Request, now uint64) {
 
 // PendingBusRequests returns the number of requests waiting for the bus.
 func (h *Hierarchy) PendingBusRequests() int { return h.arb.Pending() }
+
+// NextEvent implements the clock contract for the hierarchy: Tick only does
+// work while requests wait for the bus (one grant per cycle, plus the
+// bus-conflict statistic, which also only moves while something is queued).
+// Completion times of scheduled requests are their owners' events, not the
+// hierarchy's.
+func (h *Hierarchy) NextEvent(now uint64) uint64 { return h.arb.NextEvent(now) }
 
 // CancelPrefetches drops all prefetch requests still waiting for the bus
 // (used on a misprediction flush). Requests already granted complete

@@ -17,6 +17,7 @@ package pipeline
 import (
 	"fmt"
 
+	"clgp/internal/clock"
 	"clgp/internal/isa"
 	"clgp/internal/memory"
 )
@@ -352,6 +353,56 @@ func (b *Backend) issue(d *DynInst, now uint64) {
 // finish marks an instruction complete.
 func (b *Backend) finish(d *DynInst) {
 	d.state = stateCompleted
+}
+
+// NextEvent returns the earliest cycle, at or after now, at which Tick could
+// change any back-end state (the clock contract, see package clock). The
+// walk mirrors Tick's state machine exactly:
+//
+//   - a committable head, or a dispatched instruction past its issue delay
+//     with completed producers, is same-cycle work (it was only width-limited
+//     this cycle);
+//   - dispatched instructions still inside the issue delay wake at issueAt
+//     (possibly early, if their producers are slower — harmlessly
+//     conservative);
+//   - dispatched instructions stalled on in-flight producers have no event of
+//     their own: each producer contributes its completion below, and a
+//     recycled or already-completed producer makes depsReady true above;
+//   - memory-waiting instructions wake when their request's data arrives,
+//     executing ones at completAt. Tick stamps completAt with its own cycle
+//     on memory completion and detects branch resolution by completAt == now,
+//     so never skipping past these horizons is what keeps resolution — and
+//     with it every downstream flush — on exactly the per-cycle schedule.
+//
+// Completed wrong-path instructions are inert until the resolution squash,
+// which the mispredicted (correct-path) branch's own completion event covers.
+func (b *Backend) NextEvent(now uint64) uint64 {
+	if b.ruuN == 0 {
+		return clock.None
+	}
+	if head := b.ruu[b.ruuHead]; !head.WrongPath && head.state == stateCompleted {
+		return now
+	}
+	ev := clock.None
+	for i := 0; i < b.ruuN; i++ {
+		d := b.ruuAt(i)
+		switch d.state {
+		case stateDispatched:
+			if d.issueAt > now {
+				ev = clock.Min(ev, d.issueAt)
+			} else if depsReady(d, now) {
+				return now
+			}
+		case stateWaitingMem:
+			if d.memReq == nil {
+				return now
+			}
+			ev = clock.Min(ev, d.memReq.NextEvent(now))
+		case stateIssued:
+			ev = clock.Min(ev, d.completAt)
+		}
+	}
+	return ev
 }
 
 // SquashWrongPath removes every wrong-path instruction from the RUU. The

@@ -1,0 +1,109 @@
+package prebuffer
+
+import "clgp/internal/isa"
+
+// lineIndex is an exact line→slot map over a buffer's allocated entries,
+// replacing the per-lookup linear scan of the entry array. It is a small
+// open-addressed hash table with linear probing, sized to a power of two at
+// least four times the entry count (load factor ≤ 25%, so probe chains stay
+// short), and deletion by the classic backward-shift so no tombstones
+// accumulate. All storage is allocated once at construction; every operation
+// is allocation-free, preserving the simulator's steady-state contract.
+//
+// The table is ground truth, not a hint: get returns exactly what the
+// exhaustive scan (Buffer.findLinear) would, which the consistency tests
+// assert under randomised churn.
+type lineIndex struct {
+	mask  int
+	shift uint
+	line  []isa.Addr
+	slot  []int32 // entry index, or -1 for an empty table cell
+}
+
+// init sizes the table for a buffer of `entries` slots.
+func (ix *lineIndex) init(entries int) {
+	size := 8
+	bits := uint(3)
+	for size < 4*entries {
+		size <<= 1
+		bits++
+	}
+	ix.mask = size - 1
+	ix.shift = 64 - bits
+	ix.line = make([]isa.Addr, size)
+	ix.slot = make([]int32, size)
+	ix.clear()
+}
+
+// home returns the preferred table cell of a line. Lines are cache-aligned
+// (low bits zero), so a Fibonacci multiply spreads them before taking the
+// top bits.
+func (ix *lineIndex) home(line isa.Addr) int {
+	return int((uint64(line) * 0x9e3779b97f4a7c15) >> ix.shift)
+}
+
+// get returns the entry slot holding line, or -1.
+func (ix *lineIndex) get(line isa.Addr) int {
+	i := ix.home(line)
+	for ix.slot[i] >= 0 {
+		if ix.line[i] == line {
+			return int(ix.slot[i])
+		}
+		i = (i + 1) & ix.mask
+	}
+	return -1
+}
+
+// put records that entry `slot` now holds line (updating in place if the
+// line is already indexed).
+func (ix *lineIndex) put(line isa.Addr, slot int) {
+	i := ix.home(line)
+	for ix.slot[i] >= 0 {
+		if ix.line[i] == line {
+			ix.slot[i] = int32(slot)
+			return
+		}
+		i = (i + 1) & ix.mask
+	}
+	ix.line[i] = line
+	ix.slot[i] = int32(slot)
+}
+
+// del removes line from the index (a no-op if absent), backward-shifting the
+// probe chain so later lookups never traverse stale cells.
+func (ix *lineIndex) del(line isa.Addr) {
+	i := ix.home(line)
+	for {
+		if ix.slot[i] < 0 {
+			return
+		}
+		if ix.line[i] == line {
+			break
+		}
+		i = (i + 1) & ix.mask
+	}
+	j := i
+	for {
+		j = (j + 1) & ix.mask
+		if ix.slot[j] < 0 {
+			break
+		}
+		h := ix.home(ix.line[j])
+		// Move j into the hole at i unless j's home lies cyclically in
+		// (i, j] — in that case j is already as close to home as the hole
+		// allows and must stay put.
+		if (j > i && (h <= i || h > j)) || (j < i && h <= i && h > j) {
+			ix.line[i] = ix.line[j]
+			ix.slot[i] = ix.slot[j]
+			i = j
+		}
+	}
+	ix.slot[i] = -1
+}
+
+// clear empties the index.
+func (ix *lineIndex) clear() {
+	for i := range ix.slot {
+		ix.slot[i] = -1
+	}
+}

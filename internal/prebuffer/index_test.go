@@ -1,0 +1,93 @@
+package prebuffer
+
+import (
+	"math/rand"
+	"testing"
+
+	"clgp/internal/isa"
+)
+
+// checkIndexConsistency asserts that the O(1) index and the exhaustive scan
+// agree for every line in the probe set.
+func checkIndexConsistency(t *testing.T, b *Buffer, lines []isa.Addr) {
+	t.Helper()
+	for _, line := range lines {
+		got, want := b.find(line), b.findLinear(line)
+		if got != want {
+			t.Fatalf("find(%#x) = %d, linear scan says %d", line, got, want)
+		}
+	}
+}
+
+// TestPrestageIndexMatchesLinearScan churns a prestage buffer through
+// randomised Request/Lookup/Invalidate/Reset traffic and cross-checks the
+// line→slot index against the reference linear scan after every operation.
+func TestPrestageIndexMatchesLinearScan(t *testing.T) {
+	for _, entries := range []int{1, 3, 16, 64} {
+		sb, err := NewPrestageBuffer(entries, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(entries)))
+		// A working set ~4x the buffer forces constant eviction churn.
+		lines := make([]isa.Addr, 4*entries)
+		for i := range lines {
+			lines[i] = isa.Addr(0x1000 + 64*i)
+		}
+		for op := 0; op < 4000; op++ {
+			line := lines[rng.Intn(len(lines))]
+			switch rng.Intn(10) {
+			case 0:
+				sb.Invalidate(line)
+			case 1:
+				sb.Fill(line)
+			case 2:
+				sb.Lookup(line)
+			case 3:
+				if rng.Intn(50) == 0 {
+					sb.Reset()
+				}
+			case 4:
+				// Drain consumers so entries become replaceable again.
+				sb.ResetConsumers()
+			default:
+				sb.Request(line)
+			}
+			checkIndexConsistency(t, &sb.Buffer, lines)
+		}
+	}
+}
+
+// TestPrefetchIndexMatchesLinearScan is the same churn over the FDP-style
+// prefetch buffer (Allocate/Lookup/Invalidate semantics).
+func TestPrefetchIndexMatchesLinearScan(t *testing.T) {
+	for _, entries := range []int{1, 3, 16, 64} {
+		pb, err := NewPrefetchBuffer(entries, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(100 + entries)))
+		lines := make([]isa.Addr, 4*entries)
+		for i := range lines {
+			lines[i] = isa.Addr(0x40000 + 64*i)
+		}
+		for op := 0; op < 4000; op++ {
+			line := lines[rng.Intn(len(lines))]
+			switch rng.Intn(8) {
+			case 0:
+				pb.Invalidate(line)
+			case 1:
+				pb.Fill(line)
+			case 2:
+				pb.Lookup(line)
+			case 3:
+				if rng.Intn(50) == 0 {
+					pb.Reset()
+				}
+			default:
+				pb.Allocate(line)
+			}
+			checkIndexConsistency(t, &pb.Buffer, lines)
+		}
+	}
+}

@@ -51,6 +51,7 @@ type entry struct {
 type Buffer struct {
 	name    string
 	entries []entry
+	idx     lineIndex
 	stamp   uint64
 	latency int
 
@@ -69,7 +70,9 @@ func newBuffer(name string, entries, latency int) (*Buffer, error) {
 	if latency < 1 {
 		latency = 1
 	}
-	return &Buffer{name: name, entries: make([]entry, entries), latency: latency}, nil
+	b := &Buffer{name: name, entries: make([]entry, entries), latency: latency}
+	b.idx.init(entries)
+	return b, nil
 }
 
 // Size returns the number of entries.
@@ -94,8 +97,19 @@ func (b *Buffer) Evictions() uint64 { return b.evictions }
 // once before being displaced (prefetch usefulness numerator).
 func (b *Buffer) UsedLines() uint64 { return b.usedLines }
 
-// find returns the index of the entry holding line, or -1.
+// find returns the index of the entry holding line, or -1. It is the hot
+// lookup of both buffer flavours — every fetch-stage access and every
+// queue-walk Request funnels through it — so it reads the O(1) line→slot
+// index instead of scanning the entries (which was fine at 16 entries but
+// dominated the profile when buffers grow; see BenchmarkBufferFind).
 func (b *Buffer) find(line isa.Addr) int {
+	return b.idx.get(line)
+}
+
+// findLinear is the reference implementation of find: an exhaustive scan of
+// the entries. Tests cross-check the index against it; benchmarks use it to
+// quantify the index win at 16/64/256 entries.
+func (b *Buffer) findLinear(line isa.Addr) int {
 	for i := range b.entries {
 		if b.entries[i].allocated && b.entries[i].line == line {
 			return i
@@ -164,16 +178,21 @@ func (b *Buffer) touch(i int) {
 	b.entries[i].lru = b.stamp
 }
 
-// evictInto reuses entry i for a new allocation of line.
+// evictInto reuses entry i for a new allocation of line, keeping the
+// line→slot index in step with the displaced and installed lines.
 func (b *Buffer) evictInto(i int, line isa.Addr) {
 	e := &b.entries[i]
-	if e.allocated && e.valid {
-		b.evictions++
-		if e.used {
-			b.usedLines++
+	if e.allocated {
+		if e.valid {
+			b.evictions++
+			if e.used {
+				b.usedLines++
+			}
 		}
+		b.idx.del(e.line)
 	}
 	*e = entry{line: line, allocated: true}
+	b.idx.put(line, i)
 	b.allocs++
 	b.touch(i)
 }
@@ -248,6 +267,7 @@ func (pb *PrefetchBuffer) Invalidate(line isa.Addr) {
 			pb.usedLines++
 		}
 		pb.entries[i] = entry{available: true}
+		pb.idx.del(line)
 	}
 }
 
@@ -267,6 +287,7 @@ func (pb *PrefetchBuffer) Reset() {
 	for i := range pb.entries {
 		pb.entries[i] = entry{available: true}
 	}
+	pb.idx.clear()
 }
 
 // PrestageBuffer is the CLGP prestage buffer.
@@ -346,6 +367,7 @@ func (sb *PrestageBuffer) Invalidate(line isa.Addr) {
 			sb.usedLines++
 		}
 		sb.entries[i] = entry{}
+		sb.idx.del(line)
 	}
 }
 
@@ -384,4 +406,5 @@ func (sb *PrestageBuffer) Reset() {
 	for i := range sb.entries {
 		sb.entries[i] = entry{}
 	}
+	sb.idx.clear()
 }

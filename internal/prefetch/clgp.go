@@ -123,6 +123,23 @@ func (e *CLGPEngine) Tick(now uint64) {
 	}
 }
 
+// NextEvent implements Engine. The oldest unprefetched CLTQ entry is
+// same-cycle work exactly when Tick can process it: its line is already
+// staged (the consumers counter bumps) or a replaceable prestage entry
+// exists to claim. When every entry is pinned by pending consumers, Tick is
+// a no-op until a fetch-stage hit releases a reference or a resolution flush
+// resets the counters — both covered by the core's fetch and back-end
+// horizons — leaving the earliest in-flight fill as the engine's own event.
+func (e *CLGPEngine) NextEvent(now uint64) uint64 {
+	if idx := e.q.NextUnprefetched(); idx >= 0 {
+		entry, _ := e.q.At(idx)
+		if e.buf.Contains(entry.Line) || e.buf.ReplaceableSlots() > 0 {
+			return now
+		}
+	}
+	return e.nextFillEvent(now)
+}
+
 // Flush implements Engine: on a misprediction the CLTQ is flushed and the
 // consumers counters are reset, making every prestage entry available for
 // prefetches along the new path; valid lines remain usable until they are

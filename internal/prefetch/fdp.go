@@ -138,6 +138,12 @@ func (e *FDPEngine) Tick(now uint64) {
 	}
 }
 
+// NextEvent implements Engine; see common.candidateHeadEvent for the
+// head-progress policy it shares with NextN.
+func (e *FDPEngine) NextEvent(now uint64) uint64 {
+	return e.candidateHeadEvent(now, &e.candidates, e.buf)
+}
+
 // Flush implements Engine: the FTQ and the candidate queue are cleared. The
 // prefetch buffer keeps its contents (lines from the wrong path may still
 // turn out useful, exactly as in the paper's description of FDP).

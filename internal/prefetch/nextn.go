@@ -118,6 +118,12 @@ func (e *NextNEngine) Tick(now uint64) {
 	}
 }
 
+// NextEvent implements Engine; see common.candidateHeadEvent for the
+// head-progress policy it shares with FDP.
+func (e *NextNEngine) NextEvent(now uint64) uint64 {
+	return e.candidateHeadEvent(now, &e.candidates, e.buf)
+}
+
 // Flush implements Engine.
 func (e *NextNEngine) Flush() {
 	e.cursor.flush()

@@ -1,6 +1,7 @@
 package prefetch
 
 import (
+	"clgp/internal/clock"
 	"clgp/internal/ftq"
 	"clgp/internal/isa"
 	"clgp/internal/memory"
@@ -55,6 +56,10 @@ func (e *NoneEngine) LookupBuffer(line isa.Addr, now uint64) (bool, int) { retur
 
 // Tick implements Engine; the baseline issues no prefetches.
 func (e *NoneEngine) Tick(now uint64) {}
+
+// NextEvent implements Engine: the baseline's Tick never does anything, so
+// it never has an event.
+func (e *NoneEngine) NextEvent(now uint64) uint64 { return clock.None }
 
 // Flush implements Engine.
 func (e *NoneEngine) Flush() { e.cursor.flush() }

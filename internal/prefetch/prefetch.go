@@ -17,9 +17,11 @@ package prefetch
 import (
 	"fmt"
 
+	"clgp/internal/clock"
 	"clgp/internal/ftq"
 	"clgp/internal/isa"
 	"clgp/internal/memory"
+	"clgp/internal/prebuffer"
 	"clgp/internal/stats"
 )
 
@@ -77,6 +79,13 @@ type Engine interface {
 	// Tick lets the engine scan its queue, issue prefetches to the memory
 	// hierarchy and complete outstanding fills. Call once per cycle.
 	Tick(now uint64)
+
+	// NextEvent returns the earliest cycle, at or after now, at which Tick
+	// could change any state: now while queued work remains (possibly
+	// blocked on a buffer slot — conservatively treated as same-cycle work),
+	// the earliest fill completion while prefetches are in flight, and
+	// clock.None when fully idle. See package clock for the contract.
+	NextEvent(now uint64) uint64
 
 	// Flush is called on a branch misprediction: the decoupling queue is
 	// emptied and scheme-specific recovery is applied (CLGP resets the
@@ -202,6 +211,37 @@ func (c *common) bufferLatency() int {
 
 // recordSource counts one prefetch request by its supplying level.
 func (c *common) recordSource(src stats.Source) { c.prefetchSources.Add(src, 1) }
+
+// nextFillEvent returns the earliest cycle an in-flight prefetch needs
+// attention: its completion when scheduled, or the current cycle when it is
+// still waiting for the bus or was cancelled (completeFills reaps it on the
+// next tick either way).
+func (c *common) nextFillEvent(now uint64) uint64 {
+	ev := clock.None
+	for _, o := range c.inflight {
+		ev = clock.Min(ev, o.req.NextEvent(now))
+	}
+	return ev
+}
+
+// candidateHeadEvent is the shared FDP/NextN next-event horizon, mirroring
+// their identical Tick head-of-queue processing. The queued head is
+// same-cycle work exactly when Tick can make progress on it: it filters out
+// against the caches (L0/L1 probe), is already buffered, or a prefetch-
+// buffer slot is free to allocate. A head blocked on a full buffer leaves
+// Tick a no-op until a fetch-stage hit frees an entry or a resolution flush
+// clears the queue — both covered by the core's fetch and back-end horizons
+// — so the engine's own event is then only the earliest in-flight fill.
+func (c *common) candidateHeadEvent(now uint64, candidates *candRing, buf *prebuffer.PrefetchBuffer) uint64 {
+	if candidates.n > 0 {
+		line := candidates.peek()
+		if (c.cfg.HasL0 && c.mem.L0() != nil && c.mem.L0().Probe(line)) ||
+			c.mem.L1I().Probe(line) || buf.Contains(line) || buf.FreeSlots() > 0 {
+			return now
+		}
+	}
+	return c.nextFillEvent(now)
+}
 
 // issuePrefetch sends a prefetch to the hierarchy and tracks the fill.
 func (c *common) issuePrefetch(line isa.Addr, now uint64) {
