@@ -88,6 +88,7 @@ func cmdFigures(args []string) error {
 	benchJSON := fs.String("json", "", "also write a BENCH-format throughput record to this path")
 	traceFile := fs.String("tracefile", "", "stream every job's trace from this recorded container (single-profile grids only)")
 	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
+	fused := fs.Bool("fused", false, "fuse each workload's configs into lockstep lanes over one shared trace (bit-identical results, one decode per workload)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,6 +138,7 @@ func cmdFigures(args []string) error {
 	}
 	o := &dispatch.Orchestrator{
 		Dir: *dir, Workers: *workers, Parallel: *parallel, Mode: mode, Log: os.Stdout,
+		Fused: *fused,
 		Retry: dispatch.RetryPolicy{Attempts: *retries + 1},
 	}
 	if *storeFlag != "" {

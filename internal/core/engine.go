@@ -64,8 +64,12 @@ type Engine struct {
 	// Event-horizon clock state: noSkip pins the engine to the per-cycle
 	// reference path; skipped counts the cycles fast-forwarded over (they
 	// are still part of e.cycle — results are bit-identical either way).
-	noSkip  bool
-	skipped uint64
+	// wpProduced counts wrong-path cycles handled by the production fast
+	// path: ticked for block production only, with the idle component ticks
+	// elided (not counted as skipped — the cycles did real work).
+	noSkip     bool
+	skipped    uint64
+	wpProduced uint64
 
 	// Prediction state. predCursor indexes the next trace record not yet
 	// consumed by a correct-path prediction; on the wrong path the predictor
@@ -329,9 +333,12 @@ func (e *Engine) Step() bool {
 	// Attempt a fast-forward only on cycles that did no front-end or commit
 	// work: a machine transitioning into a stall ticks at most one no-op
 	// cycle before the event-horizon clock engages, and busy cycles skip
-	// the horizon computation entirely.
+	// the horizon computation entirely. Wrong-path cycles are the exception:
+	// there the predictor produces a block every cycle the queue has room, so
+	// block production alone must not disqualify the attempt — skipToNextEvent
+	// handles those spans with a dedicated production fast path.
 	if !e.noSkip && len(committed) == 0 && resolved == nil &&
-		e.fetched == preFetched && e.nextSeqID == preSeqID {
+		e.fetched == preFetched && (e.nextSeqID == preSeqID || e.wrongPath) {
 		e.skipToNextEvent()
 	}
 	if e.cycle >= e.maxCycles {
@@ -359,12 +366,23 @@ func (e *Engine) skipToNextEvent() {
 		return
 	}
 	horizon := clock.None
+	produceWrongPath := false
 	if e.wrongPath || e.predCursor < e.trLen {
 		if !e.eng.QueueFull() {
 			if now >= e.predStallUntil {
-				return // the predictor produces a block this cycle
+				if !e.wrongPath {
+					// A correct-path block consumes trace records and drives
+					// the whole machine: real same-cycle work.
+					return
+				}
+				// Wrong-path production is decoupled from the trace: if every
+				// other component is idle the span is handled by the
+				// production fast path below, which enqueues the blocks at
+				// exactly their per-cycle times without full ticks.
+				produceWrongPath = true
+			} else {
+				horizon = e.predStallUntil
 			}
-			horizon = e.predStallUntil
 		}
 		// Queue full: prediction unblocks via a fetch-stage pop, which the
 		// fetch horizon below already covers.
@@ -408,10 +426,47 @@ func (e *Engine) skipToNextEvent() {
 	// A horizon of clock.None means nothing will ever happen again: jump to
 	// the wedge detector, exactly where the per-cycle path would spin to.
 	target := clock.Min(horizon, e.maxCycles)
+	if produceWrongPath {
+		e.produceWrongPathUntil(target)
+		return
+	}
 	if target > now {
 		e.skipped += target - now
 		e.cycle = target
 	}
+}
+
+// produceWrongPathUntil runs the wrong-path production fast path: every other
+// component is provably idle until limit (the caller established that from
+// the horizons), so the only per-cycle work is the predictor enqueueing one
+// wrong-path block. Enqueue each block at exactly the cycle the per-cycle
+// path would — results stay bit-identical — but skip the no-op component
+// ticks in between. The loop falls back to full stepping the moment the
+// machine could react to the queue contents: the prefetch engine finds
+// same-cycle work in a just-enqueued block, the fetch stage could start a
+// line, the queue fills, or production stalls for any engine-specific reason.
+func (e *Engine) produceWrongPathUntil(limit uint64) {
+	now := e.cycle
+	for now < limit && !e.eng.QueueFull() {
+		before := e.nextSeqID
+		e.predictStage(now)
+		if e.nextSeqID == before {
+			break // the engine refused the block; let the full path sort it out
+		}
+		now++
+		if e.eng.NextEvent(now) <= now {
+			break // the new block gives the prefetch engine same-cycle work
+		}
+		if !e.fetchActive && dispatchQueueCap-e.dqN >= fetchLineHeadroom {
+			if _, ok := e.eng.NextFetch(); ok {
+				break // the new block is fetchable: fetch starts next cycle
+			}
+		}
+	}
+	// These cycles were ticked (in degenerate, production-only form), not
+	// skipped; e.skipped deliberately excludes them.
+	e.wpProduced += now - e.cycle
+	e.cycle = now
 }
 
 // Run simulates until completion and returns the collected results.

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"clgp/internal/isa"
+	"clgp/internal/stats"
+	"clgp/internal/trace"
+)
+
+// fusedChunk is the committed-instruction lockstep granularity: each
+// scheduling round runs every lane until it is at most this many committed
+// instructions ahead of the slowest lane at the round's start. It bounds how
+// far lane commit frontiers diverge, and with it the resident span a shared
+// windowed trace must hold (see the resident-cap math on FusedEngine).
+const fusedChunk = 2048
+
+// FusedEngine runs N independent lane engines — one per configuration of the
+// same workload — over a single shared trace source, so the trace is decoded
+// and its window managed once for the whole sweep column instead of once per
+// configuration.
+//
+// Each lane is an unmodified *Engine wrapping the shared source in a
+// laneTrace adapter: reads pass straight through, while each lane's Advance
+// calls are folded into a per-lane commit frontier. The shared source only
+// ever sees the minimum frontier across unfinished lanes — the window evicts
+// at the pace of the slowest lane — so every lane observes exactly the
+// records a standalone run would, and lane results are bit-identical to
+// standalone runs by construction (the equivalence tests assert this).
+//
+// Resident-cap math for a shared trace.WindowTrace: the scheduler keeps lane
+// commit frontiers within fusedChunk of each other, and the fastest lane
+// additionally pins its own in-flight span (commit point to prediction
+// lookahead, a few thousand records for the default configuration). A window
+// cap of at least fusedChunk + trace.MinWindowCap therefore suffices; the
+// trace.DefaultWindowCap of 64K records leaves an order of magnitude of
+// slack for any lane count — N affects only eviction pace, not residency.
+type FusedEngine struct {
+	src       TraceSource
+	lanes     []*Engine
+	frontiers []int // per-lane commit frontier (total once the lane finished)
+	shared    int   // frontier already passed to the shared source
+	total     int
+}
+
+// laneTrace adapts the fused shared source to one lane's TraceSource: reads
+// delegate, eviction frontiers are aggregated across lanes.
+type laneTrace struct {
+	f   *FusedEngine
+	idx int
+}
+
+func (lt *laneTrace) At(i int) trace.Record { return lt.f.src.At(i) }
+func (lt *laneTrace) Len() int              { return lt.f.total }
+func (lt *laneTrace) Advance(frontier int)  { lt.f.advanceLane(lt.idx, frontier) }
+
+// NewFusedEngine builds one lane per configuration over the shared dictionary
+// and trace source. All configurations must describe the same workload (they
+// share the trace verbatim); they typically differ in engine kind, cache
+// sizes and L0 presence.
+func NewFusedEngine(cfgs []Config, dict *isa.Dictionary, src TraceSource) (*FusedEngine, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("core: fused engine needs at least one lane")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: fused engine needs a trace source")
+	}
+	f := &FusedEngine{
+		src:       src,
+		lanes:     make([]*Engine, len(cfgs)),
+		frontiers: make([]int, len(cfgs)),
+		total:     src.Len(),
+	}
+	for i, cfg := range cfgs {
+		e, err := NewEngine(cfg, dict, &laneTrace{f: f, idx: i})
+		if err != nil {
+			return nil, fmt.Errorf("core: fused lane %d (%s): %w", i, cfg.Name, err)
+		}
+		f.lanes[i] = e
+	}
+	return f, nil
+}
+
+// Lanes exposes the lane engines in configuration order (stats, tests).
+func (f *FusedEngine) Lanes() []*Engine { return f.lanes }
+
+// advanceLane records one lane's commit frontier and advances the shared
+// source to the minimum across lanes. The minimum only moves when the
+// slowest lane advances, so the O(N) re-scan runs at the eviction pace of
+// the laggard, not once per Advance.
+func (f *FusedEngine) advanceLane(idx, frontier int) {
+	if frontier <= f.frontiers[idx] {
+		return
+	}
+	wasMin := f.frontiers[idx] == f.shared
+	f.frontiers[idx] = frontier
+	if !wasMin {
+		return
+	}
+	min := f.total
+	for _, fr := range f.frontiers {
+		if fr < min {
+			min = fr
+		}
+	}
+	if min > f.shared {
+		f.shared = min
+		f.src.Advance(min)
+	}
+}
+
+// Run simulates every lane to completion in committed-instruction lockstep
+// and returns the per-lane results in configuration order. On any lane
+// error the whole fused run fails (the lanes share one window; a wedged lane
+// would pin it forever).
+func (f *FusedEngine) Run() ([]*stats.Results, error) {
+	for {
+		// Find the slowest unfinished lane; everyone may run up to one chunk
+		// past it this round.
+		minC := uint64(0)
+		running := false
+		for _, e := range f.lanes {
+			if e.Done() {
+				continue
+			}
+			if !running || e.Committed() < minC {
+				minC = e.Committed()
+			}
+			running = true
+		}
+		if !running {
+			break
+		}
+		target := minC + fusedChunk
+		for i, e := range f.lanes {
+			for !e.Done() && e.Committed() < target && e.Step() {
+			}
+			if err := e.Err(); err != nil {
+				return nil, fmt.Errorf("core: fused lane %d: %w", i, err)
+			}
+			if e.Done() {
+				// A finished lane never reads again: release its frontier so
+				// the window tracks the slowest lane still running.
+				f.advanceLane(i, f.total)
+			}
+		}
+	}
+	out := make([]*stats.Results, len(f.lanes))
+	for i, e := range f.lanes {
+		out[i] = e.Results()
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"clgp/internal/cacti"
+	"clgp/internal/trace"
+	"clgp/internal/tracefile"
+)
+
+// fusedLaneConfigs is the lane matrix the fused tests run: every engine kind
+// plus a second L1 size for the two buffered engines, mirroring the shape of
+// a sweep's per-workload column.
+func fusedLaneConfigs() []Config {
+	return []Config{
+		{Tech: cacti.Tech90, L1ISize: 2 << 10, Engine: EngineNone},
+		{Tech: cacti.Tech90, L1ISize: 2 << 10, Engine: EngineNextN},
+		{Tech: cacti.Tech90, L1ISize: 2 << 10, Engine: EngineFDP},
+		{Tech: cacti.Tech90, L1ISize: 2 << 10, Engine: EngineCLGP, UseL0: true, PreBufferEntries: 8},
+		{Tech: cacti.Tech90, L1ISize: 4 << 10, Engine: EngineFDP},
+		{Tech: cacti.Tech90, L1ISize: 1 << 10, Engine: EngineCLGP, UseL0: true, PreBufferEntries: 8},
+	}
+}
+
+// TestFusedMatchesStandalone is the acceptance property of lane fusion: for
+// every profile, each lane of a fused run must produce results
+// reflect.DeepEqual to the standalone engine over the same in-memory trace.
+func TestFusedMatchesStandalone(t *testing.T) {
+	const numInsts = 30_000
+	for pi, prof := range []string{"gzip", "gcc", "mcf", "twolf"} {
+		t.Run(prof, func(t *testing.T) {
+			w := skipTestWorkload(t, prof, numInsts, int64(61+pi))
+			cfgs := fusedLaneConfigs()
+			fe, err := NewFusedEngine(cfgs, w.Dict, w.Trace)
+			if err != nil {
+				t.Fatalf("fused engine: %v", err)
+			}
+			got, err := fe.Run()
+			if err != nil {
+				t.Fatalf("fused run: %v", err)
+			}
+			if len(got) != len(cfgs) {
+				t.Fatalf("got %d lane results, want %d", len(got), len(cfgs))
+			}
+			for i, cfg := range cfgs {
+				ref := runConfig(t, cfg, w)
+				if !reflect.DeepEqual(got[i], ref) {
+					t.Errorf("lane %d (%s) diverges from standalone:\nfused:      %+v\nstandalone: %+v",
+						i, ref.Name, got[i], ref)
+				}
+			}
+		})
+	}
+}
+
+// TestFusedStreamedSharedWindow runs the lane matrix over ONE shared windowed
+// container trace: lane results must match the standalone in-memory
+// reference bit for bit, the shared window must stay bounded even with six
+// lanes pulling on it, and the container must be decoded once for the whole
+// batch rather than once per lane.
+func TestFusedStreamedSharedWindow(t *testing.T) {
+	const numInsts = 60_000
+	const windowCap = 8192
+	path, w := recordTraceFile(t, numInsts, 67)
+
+	rd, err := tracefile.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer rd.Close()
+	wt, err := trace.NewWindowTrace(rd, windowCap)
+	if err != nil {
+		t.Fatalf("window: %v", err)
+	}
+	cfgs := fusedLaneConfigs()
+	fe, err := NewFusedEngine(cfgs, w.Dict, wt)
+	if err != nil {
+		t.Fatalf("fused engine: %v", err)
+	}
+	got, err := fe.Run()
+	if err != nil {
+		t.Fatalf("fused streamed run: %v", err)
+	}
+	for i, cfg := range cfgs {
+		ref := runConfig(t, cfg, w)
+		if !reflect.DeepEqual(got[i], ref) {
+			t.Errorf("streamed lane %d (%s) diverges from in-memory standalone:\nfused:      %+v\nstandalone: %+v",
+				i, ref.Name, got[i], ref)
+		}
+	}
+	if wt.MaxResident() > windowCap {
+		t.Errorf("shared window held %d records, cap %d", wt.MaxResident(), windowCap)
+	}
+	if wt.MaxResident() >= numInsts {
+		t.Error("shared window held the whole trace — min-frontier eviction never ran")
+	}
+	// Decode-once: the shared window reads each chunk a bounded number of
+	// times regardless of lane count. A per-lane streaming design would pay
+	// len(cfgs)× the single-run reads; assert the fused run stays well under
+	// half of that.
+	soloWT, err := trace.NewWindowTrace(mustReopen(t, path), windowCap)
+	if err != nil {
+		t.Fatalf("solo window: %v", err)
+	}
+	solo, err := NewEngine(cfgs[3], w.Dict, soloWT)
+	if err != nil {
+		t.Fatalf("solo engine: %v", err)
+	}
+	if _, err := solo.Run(); err != nil {
+		t.Fatalf("solo run: %v", err)
+	}
+	if fused, perLane := wt.SourceReads(), soloWT.SourceReads(); fused > perLane*int64(len(cfgs))/2 {
+		t.Errorf("shared window issued %d source reads vs %d for one lane — decode is not being amortised", fused, perLane)
+	}
+}
+
+func mustReopen(t *testing.T, path string) *tracefile.Reader {
+	t.Helper()
+	rd, err := tracefile.Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	t.Cleanup(func() { rd.Close() })
+	return rd
+}
+
+// TestFusedSingleLane is the degenerate case: a one-lane fused engine is
+// exactly a standalone engine.
+func TestFusedSingleLane(t *testing.T) {
+	w := skipTestWorkload(t, "gcc", 20_000, 71)
+	cfg := Config{Tech: cacti.Tech90, L1ISize: 2 << 10, Engine: EngineCLGP, UseL0: true, PreBufferEntries: 8}
+	fe, err := NewFusedEngine([]Config{cfg}, w.Dict, w.Trace)
+	if err != nil {
+		t.Fatalf("fused engine: %v", err)
+	}
+	got, err := fe.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ref := runConfig(t, cfg, w)
+	if !reflect.DeepEqual(got[0], ref) {
+		t.Errorf("single-lane fused run diverges:\nfused:      %+v\nstandalone: %+v", got[0], ref)
+	}
+}
+
+// TestFusedRejectsEmpty covers constructor validation.
+func TestFusedRejectsEmpty(t *testing.T) {
+	w := skipTestWorkload(t, "gcc", 4_000, 73)
+	if _, err := NewFusedEngine(nil, w.Dict, w.Trace); err == nil {
+		t.Error("want error for zero lanes")
+	}
+	if _, err := NewFusedEngine([]Config{{Tech: cacti.Tech90, L1ISize: 2 << 10}}, w.Dict, nil); err == nil {
+		t.Error("want error for nil trace source")
+	}
+}

@@ -82,6 +82,58 @@ func TestSkipEquivalence(t *testing.T) {
 	}
 }
 
+// TestSkipEquivalenceMispredictHeavy targets the wrong-path production fast
+// path: a profile with half its branches data-dependent coin flips keeps the
+// front-end on the wrong path for a large share of its cycles, so without
+// wrong-path engagement the event-horizon clock would degrade towards
+// per-cycle ticking. The run must stay bit-identical to the NoSkip reference
+// while the production fast path demonstrably handles wrong-path cycles.
+func TestSkipEquivalenceMispredictHeavy(t *testing.T) {
+	p, err := workload.ProfileByName("twolf")
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	p.Name = "twolf-noisy"
+	p.NoisyBranchFrac = 0.5
+	p.NoisyTakenBias = 0.5
+	w, err := workload.Generate(p, 40_000, 53)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	for _, ek := range []EngineKind{EngineNone, EngineNextN, EngineFDP, EngineCLGP} {
+		t.Run(ek.String(), func(t *testing.T) {
+			cfg := Config{
+				Tech: cacti.Tech90, L1ISize: 2 << 10, Engine: ek,
+				UseL0: ek == EngineCLGP, PreBufferEntries: 8,
+			}
+			refCfg := cfg
+			refCfg.NoSkip = true
+			ref := runConfig(t, refCfg, w)
+			eng, err := NewEngine(cfg, w.Dict, w.Trace)
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			got, err := eng.Run()
+			if err != nil {
+				t.Fatalf("skip run: %v", err)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("mispredict-heavy results diverge from per-cycle reference:\nskip:    %+v\nno-skip: %+v", got, ref)
+			}
+			if got.Mispredictions == 0 {
+				t.Fatal("profile produced no mispredictions; the test exercises nothing")
+			}
+			if eng.wpProduced == 0 {
+				t.Errorf("wrong-path production fast path never engaged over %d mispredictions", got.Mispredictions)
+			}
+			t.Logf("%s: %d cycles, %d skipped (%.1f%%), %d wrong-path production cycles, %d mispredicts",
+				ek, got.Cycles, eng.SkippedCycles(),
+				100*float64(eng.SkippedCycles())/float64(got.Cycles),
+				eng.wpProduced, got.Mispredictions)
+		})
+	}
+}
+
 // TestSkipEquivalenceStreamed runs the same equivalence over a windowed
 // on-disk trace with a small cap: the gated Advance calls must still move the
 // eviction frontier often enough for the window to stay bounded, and the

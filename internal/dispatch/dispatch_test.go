@@ -509,3 +509,32 @@ func TestTechEngineRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestFusedSweepMatchesBaseline: a sweep planned with Fused runs every
+// workload column as lockstep lanes over one shared trace, records the flag
+// in the manifest for remote workers, and merges records identical to the
+// per-run single-process baseline.
+func TestFusedSweepMatchesBaseline(t *testing.T) {
+	specs := testGrid(t)
+	baseline := runBaseline(t, specs)
+	dir := t.TempDir()
+	o := &Orchestrator{Dir: dir, Workers: 2, Fused: true}
+	out, err := o.Run(specs, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Manifest.Fused {
+		t.Error("fused sweep's manifest does not carry the fused flag")
+	}
+	checkAgainstBaseline(t, baseline, out)
+
+	// The flag must survive the store round trip — that is how child and
+	// remote workers learn about it.
+	m, err := NewDirStore(dir).LoadManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Fused {
+		t.Error("fused flag lost across the manifest store round trip")
+	}
+}

@@ -211,7 +211,18 @@ func RunShardStore(st Store, m *Manifest, id, workers int) ([]RunRecord, error) 
 			jobs[i].TraceFile = cache.tracePath(spec.TraceFile)
 		}
 	}
-	results := sim.Runner{Workers: workers}.Run(jobs)
+	// The workload cache hands every job of a workload the same *Workload
+	// and the same resolved trace path, so under m.Fused the sim layer's
+	// batch planner fuses each workload column into lockstep lanes over
+	// one shared trace source. Specs and result records are unchanged —
+	// fused results are bit-identical to streamed ones.
+	rn := sim.Runner{Workers: workers}
+	var results []sim.Result
+	if m.Fused {
+		results = rn.RunFused(jobs)
+	} else {
+		results = rn.Run(jobs)
+	}
 	recs := make([]RunRecord, len(results))
 	for i, res := range results {
 		recs[i] = recordFromResult(sp.Specs[i], res)

@@ -22,7 +22,21 @@ type Dictionary struct {
 	minPC      Addr
 	maxPC      Addr
 	entryPoint Addr
+
+	// dense is a flat PC-indexed view of insts covering [minPC, maxPC]
+	// (index (pc-minPC)/InstBytes, nil at holes), rebuilt lazily on lookup
+	// after AddBlock invalidates it. Every fetched, predicted and prefetched
+	// PC funnels through Inst, and the map lookup it replaces was one of the
+	// hottest entries in the cycle-loop profile. Images too sparse for the
+	// flat view (span ≫ instruction count) keep using the map.
+	dense      []*StaticInst
+	denseBase  Addr
+	denseStale bool
 }
+
+// maxDenseSpan caps the dense table at 4M slots (32MB of pointers); beyond
+// that a pathologically sparse image falls back to the map.
+const maxDenseSpan = 1 << 22
 
 // NewDictionary creates an empty dictionary.
 func NewDictionary() *Dictionary {
@@ -68,7 +82,27 @@ func (d *Dictionary) AddBlock(bb *BasicBlock) error {
 		}
 	}
 	d.sorted = false
+	d.denseStale = true
 	return nil
+}
+
+// refreshDense (re)builds the dense lookup table, or disables it when the PC
+// span is too sparse to be worth a flat table.
+func (d *Dictionary) refreshDense() {
+	d.denseStale = false
+	d.dense = nil
+	if len(d.insts) == 0 {
+		return
+	}
+	span := int((d.maxPC-d.minPC)/InstBytes) + 1
+	if span > maxDenseSpan {
+		return
+	}
+	d.denseBase = d.minPC
+	d.dense = make([]*StaticInst, span)
+	for pc, si := range d.insts {
+		d.dense[(pc-d.denseBase)/InstBytes] = si
+	}
 }
 
 func (d *Dictionary) ensureSorted() {
@@ -87,7 +121,22 @@ func (d *Dictionary) Entry() Addr { return d.entryPoint }
 
 // Inst returns the static instruction at pc, or nil if pc is not part of the
 // program image (e.g. a wrong-path fetch ran off the end of the code).
-func (d *Dictionary) Inst(pc Addr) *StaticInst { return d.insts[pc] }
+func (d *Dictionary) Inst(pc Addr) *StaticInst {
+	if d.denseStale {
+		d.refreshDense()
+	}
+	if d.dense != nil {
+		off := pc - d.denseBase
+		if pc < d.denseBase || off&(InstBytes-1) != 0 {
+			return nil
+		}
+		if i := off / InstBytes; i < Addr(len(d.dense)) {
+			return d.dense[i]
+		}
+		return nil
+	}
+	return d.insts[pc]
+}
 
 // Block returns the basic block starting at pc, or nil.
 func (d *Dictionary) Block(pc Addr) *BasicBlock { return d.blocks[pc] }
@@ -106,8 +155,7 @@ func (d *Dictionary) Bounds() (lo, hi Addr) { return d.minPC, d.maxPC }
 
 // Contains reports whether pc maps to a static instruction.
 func (d *Dictionary) Contains(pc Addr) bool {
-	_, ok := d.insts[pc]
-	return ok
+	return d.Inst(pc) != nil
 }
 
 // Blocks returns all basic blocks sorted by start address. The slice is
@@ -176,7 +224,7 @@ func (d *Dictionary) Hash() uint64 {
 // For returns, the provided returnTo address is used (the dictionary does not
 // track the call stack). The boolean result is false when pc is unknown.
 func (d *Dictionary) NextPC(pc Addr, taken bool, returnTo Addr) (Addr, bool) {
-	si := d.insts[pc]
+	si := d.Inst(pc)
 	if si == nil {
 		return 0, false
 	}

@@ -161,10 +161,23 @@ type Backend struct {
 
 	// ruu is a fixed ring buffer of in-flight instructions in program order;
 	// logical index 0 (at head) is the oldest. A ring keeps dispatch/commit
-	// allocation-free, unlike the grow-and-shift slice it replaces.
+	// allocation-free, unlike the grow-and-shift slice it replaces. Its
+	// length is RUUSize rounded up to a power of two so ring indexing is a
+	// mask instead of a modulo (the modulo dominated the cycle-loop profile);
+	// occupancy is still capped at RUUSize.
 	ruu     []*DynInst
+	ruuMask int
 	ruuHead int
 	ruuN    int
+
+	// nextEv and readyNow cache the back-end's event horizon, recomputed by
+	// every TickInto from the walk it performs anyway and refined by
+	// Dispatch: readyNow records that same-cycle work remained after the tick
+	// (a width-limited ready instruction or a committable head), nextEv the
+	// earliest future cycle any in-flight instruction acts. NextEvent reads
+	// the cache in O(1) instead of re-walking the RUU on every skip attempt.
+	nextEv   uint64
+	readyNow bool
 
 	// pool, when set, receives committed and squashed instructions so their
 	// objects are recycled by the front-end.
@@ -190,7 +203,11 @@ func New(cfg Config, mem *memory.Hierarchy) (*Backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Backend{cfg: cfg, mem: mem, ruu: make([]*DynInst, cfg.RUUSize)}, nil
+	ringLen := 1
+	for ringLen < cfg.RUUSize {
+		ringLen <<= 1
+	}
+	return &Backend{cfg: cfg, mem: mem, ruu: make([]*DynInst, ringLen), ruuMask: ringLen - 1, nextEv: clock.None}, nil
 }
 
 // SetPool attaches a DynInst pool; committed and squashed instructions are
@@ -198,7 +215,7 @@ func New(cfg Config, mem *memory.Hierarchy) (*Backend, error) {
 func (b *Backend) SetPool(p *Pool) { b.pool = p }
 
 // ruuAt returns the instruction at logical index i (0 = oldest).
-func (b *Backend) ruuAt(i int) *DynInst { return b.ruu[(b.ruuHead+i)%len(b.ruu)] }
+func (b *Backend) ruuAt(i int) *DynInst { return b.ruu[(b.ruuHead+i)&b.ruuMask] }
 
 // MustNew is New but panics on configuration errors.
 func MustNew(cfg Config, mem *memory.Hierarchy) *Backend {
@@ -250,8 +267,12 @@ func (b *Backend) Dispatch(d *DynInst, now uint64) bool {
 			b.regProducer[d.Static.Dst] = depRef{d: d, seq: d.Seq}
 		}
 	}
-	b.ruu[(b.ruuHead+b.ruuN)%len(b.ruu)] = d
+	b.ruu[(b.ruuHead+b.ruuN)&b.ruuMask] = d
 	b.ruuN++
+	// The new instruction's earliest action is its issue slot; fold it into
+	// the cached horizon (dispatch happens after this cycle's TickInto, so
+	// the tick's recomputation did not see it).
+	b.nextEv = clock.Min(b.nextEv, d.issueAt)
 	return true
 }
 
@@ -276,29 +297,78 @@ func (b *Backend) Tick(now uint64) (committed []*DynInst, resolved *DynInst) {
 // pool — the caller consumes them (stats, training) and releases them.
 func (b *Backend) TickInto(now uint64, buf []*DynInst) (committed []*DynInst, resolved *DynInst) {
 	committed = buf
-	// Issue / execute.
+	// Idle gate: when the cached horizon proves no entry can issue, release,
+	// complete or commit at `now`, the whole walk is a no-op — skip it. The
+	// proof leans on the walk's own invariants: program order puts every
+	// producer before its consumers, so a dep-blocked entry becomes ready
+	// only in the walk that completes its producer, and that walk ran
+	// (completions and issue delays are in nextEv, width-blocked and
+	// committable entries set readyNow, unscheduled memory requests pin
+	// nextEv to the walk's own cycle). Contributions are fixed cycles that
+	// never move earlier, so the cache stays never-late across any span of
+	// gated cycles; SquashWrongPath can expose a committable survivor at the
+	// head, so it forces the next walk itself. The per-cycle NoSkip
+	// clock mode takes this path too: the gate elides provably dead walks,
+	// not cycles, so both clock modes see identical machine states.
+	if b.ruuN > 0 && !b.readyNow && b.nextEv > now {
+		return committed, nil
+	}
+	// Issue / execute. The walk doubles as the horizon recomputation: every
+	// state it inspects contributes either "same-cycle work remains"
+	// (readyNow) or its next future event, so NextEvent never has to re-walk
+	// the RUU. The contributions mirror the old NextEvent walk exactly; see
+	// that method's comment for why each one is never late.
+	nextEv := clock.None
+	readyNow := false
 	issued := 0
 	for i := 0; i < b.ruuN; i++ {
 		d := b.ruuAt(i)
 		switch d.state {
 		case stateDispatched:
-			if issued >= b.cfg.Width || now < d.issueAt || !depsReady(d, now) {
+			if now < d.issueAt {
+				nextEv = clock.Min(nextEv, d.issueAt)
+				continue
+			}
+			if !depsReady(d, now) {
+				// No event of its own: each in-flight producer contributes
+				// its completion below, and a recycled or completed producer
+				// makes depsReady true.
+				continue
+			}
+			if issued >= b.cfg.Width {
+				// Ready but width-limited: same-cycle work remains.
+				readyNow = true
 				continue
 			}
 			issued++
 			b.issue(d, now)
+			if d.state == stateWaitingMem {
+				if d.memReq != nil {
+					nextEv = clock.Min(nextEv, d.memReq.NextEvent(now))
+				} else {
+					readyNow = true
+				}
+			} else {
+				nextEv = clock.Min(nextEv, d.completAt)
+			}
 		case stateWaitingMem:
-			if d.memReq != nil && d.memReq.Ready(now) {
+			if d.memReq == nil {
+				readyNow = true
+			} else if d.memReq.Ready(now) {
 				if b.mem != nil {
 					b.mem.Release(d.memReq)
 				}
 				d.memReq = nil
 				d.completAt = now
 				b.finish(d)
+			} else {
+				nextEv = clock.Min(nextEv, d.memReq.NextEvent(now))
 			}
 		case stateIssued:
 			if now >= d.completAt {
 				b.finish(d)
+			} else {
+				nextEv = clock.Min(nextEv, d.completAt)
 			}
 		}
 		if d.state == stateCompleted && d.MispredictedBranch && resolved == nil && d.completAt == now {
@@ -314,11 +384,19 @@ func (b *Backend) TickInto(now uint64, buf []*DynInst) (committed []*DynInst, re
 			break
 		}
 		b.ruu[b.ruuHead] = nil
-		b.ruuHead = (b.ruuHead + 1) % len(b.ruu)
+		b.ruuHead = (b.ruuHead + 1) & b.ruuMask
 		b.ruuN--
 		b.committed++
 		committed = append(committed, head)
 	}
+	// A still-committable head (width-limited commit, or completed behind the
+	// instructions committed above) is same-cycle work.
+	if b.ruuN > 0 {
+		if head := b.ruu[b.ruuHead]; !head.WrongPath && head.state == stateCompleted {
+			readyNow = true
+		}
+	}
+	b.nextEv, b.readyNow = nextEv, readyNow
 	return committed, resolved
 }
 
@@ -356,53 +434,40 @@ func (b *Backend) finish(d *DynInst) {
 }
 
 // NextEvent returns the earliest cycle, at or after now, at which Tick could
-// change any back-end state (the clock contract, see package clock). The
-// walk mirrors Tick's state machine exactly:
+// change any back-end state (the clock contract, see package clock). It is
+// O(1): TickInto recomputes the horizon during the walk it performs anyway
+// and Dispatch folds in new instructions, so no rescan happens here. The
+// cached contributions mirror Tick's state machine exactly:
 //
 //   - a committable head, or a dispatched instruction past its issue delay
 //     with completed producers, is same-cycle work (it was only width-limited
-//     this cycle);
+//     this cycle) — recorded as readyNow;
 //   - dispatched instructions still inside the issue delay wake at issueAt
 //     (possibly early, if their producers are slower — harmlessly
 //     conservative);
 //   - dispatched instructions stalled on in-flight producers have no event of
-//     their own: each producer contributes its completion below, and a
-//     recycled or already-completed producer makes depsReady true above;
-//   - memory-waiting instructions wake when their request's data arrives,
-//     executing ones at completAt. Tick stamps completAt with its own cycle
-//     on memory completion and detects branch resolution by completAt == now,
-//     so never skipping past these horizons is what keeps resolution — and
-//     with it every downstream flush — on exactly the per-cycle schedule.
+//     their own: each producer contributes its completion, and a recycled or
+//     already-completed producer makes depsReady true at the tick;
+//   - memory-waiting instructions wake when their request's data arrives
+//     (a request still contending for the bus reports "now", forcing
+//     per-cycle ticks until it is scheduled), executing ones at completAt.
+//     Tick stamps completAt with its own cycle on memory completion and
+//     detects branch resolution by completAt == now, so never skipping past
+//     these horizons is what keeps resolution — and with it every downstream
+//     flush — on exactly the per-cycle schedule.
 //
 // Completed wrong-path instructions are inert until the resolution squash,
-// which the mispredicted (correct-path) branch's own completion event covers.
+// which the mispredicted (correct-path) branch's own completion event covers;
+// SquashWrongPath only removes work, so the cache going stale across a squash
+// is at worst conservatively early.
 func (b *Backend) NextEvent(now uint64) uint64 {
 	if b.ruuN == 0 {
 		return clock.None
 	}
-	if head := b.ruu[b.ruuHead]; !head.WrongPath && head.state == stateCompleted {
+	if b.readyNow || b.nextEv <= now {
 		return now
 	}
-	ev := clock.None
-	for i := 0; i < b.ruuN; i++ {
-		d := b.ruuAt(i)
-		switch d.state {
-		case stateDispatched:
-			if d.issueAt > now {
-				ev = clock.Min(ev, d.issueAt)
-			} else if depsReady(d, now) {
-				return now
-			}
-		case stateWaitingMem:
-			if d.memReq == nil {
-				return now
-			}
-			ev = clock.Min(ev, d.memReq.NextEvent(now))
-		case stateIssued:
-			ev = clock.Min(ev, d.completAt)
-		}
-	}
-	return ev
+	return b.nextEv
 }
 
 // SquashWrongPath removes every wrong-path instruction from the RUU. The
@@ -421,15 +486,19 @@ func (b *Backend) SquashWrongPath() int {
 			}
 			continue
 		}
-		b.ruu[(b.ruuHead+w)%len(b.ruu)] = d
+		b.ruu[(b.ruuHead+w)&b.ruuMask] = d
 		w++
 	}
 	// Clear the vacated tail slots so no stale pointers linger.
 	for i := w; i < b.ruuN; i++ {
-		b.ruu[(b.ruuHead+i)%len(b.ruu)] = nil
+		b.ruu[(b.ruuHead+i)&b.ruuMask] = nil
 	}
 	b.ruuN = w
 	b.wrongSquash += uint64(n)
+	// Removing a wrong-path head can expose an already-completed survivor at
+	// the commit point — work the cached horizon never accounted for. Force
+	// the next TickInto to walk and recompute.
+	b.readyNow = true
 	return n
 }
 

@@ -200,6 +200,11 @@ func (b *Buffer) evictInto(i int, line isa.Addr) {
 // PrefetchBuffer is the FDP-style prefetch buffer.
 type PrefetchBuffer struct {
 	Buffer
+	// free counts the entries claimable by Allocate (unallocated or
+	// available), maintained on every transition so FreeSlots — polled by the
+	// engine's event-horizon check every idle cycle — is O(1) instead of a
+	// scan. freeSlotsScan is the reference; tests cross-check the two.
+	free int
 }
 
 // NewPrefetchBuffer creates a prefetch buffer with the given entry count and
@@ -214,6 +219,7 @@ func NewPrefetchBuffer(entries, latency int) (*PrefetchBuffer, error) {
 	for i := range pb.entries {
 		pb.entries[i].available = true
 	}
+	pb.free = len(pb.entries)
 	return pb, nil
 }
 
@@ -225,6 +231,9 @@ func NewPrefetchBuffer(entries, latency int) (*PrefetchBuffer, error) {
 func (pb *PrefetchBuffer) Allocate(line isa.Addr) bool {
 	if pb.find(line) >= 0 {
 		return false
+	}
+	if pb.free == 0 {
+		return false // no claimable entry; skip the victim scan
 	}
 	victim := -1
 	for i := range pb.entries {
@@ -238,8 +247,10 @@ func (pb *PrefetchBuffer) Allocate(line isa.Addr) bool {
 	if victim < 0 {
 		return false
 	}
+	// The victim was claimable by definition; it leaves the free pool.
 	pb.evictInto(victim, line)
 	pb.entries[victim].available = false
+	pb.free--
 	return true
 }
 
@@ -255,7 +266,10 @@ func (pb *PrefetchBuffer) Lookup(line isa.Addr) bool {
 	}
 	pb.hits++
 	pb.entries[i].used = true
-	pb.entries[i].available = true
+	if !pb.entries[i].available {
+		pb.entries[i].available = true
+		pb.free++
+	}
 	pb.touch(i)
 	return true
 }
@@ -266,13 +280,21 @@ func (pb *PrefetchBuffer) Invalidate(line isa.Addr) {
 		if pb.entries[i].used {
 			pb.usedLines++
 		}
+		if !pb.entries[i].available {
+			pb.free++
+		}
 		pb.entries[i] = entry{available: true}
 		pb.idx.del(line)
 	}
 }
 
-// FreeSlots returns the number of entries currently claimable by Allocate.
-func (pb *PrefetchBuffer) FreeSlots() int {
+// FreeSlots returns the number of entries currently claimable by Allocate,
+// from the incrementally maintained counter.
+func (pb *PrefetchBuffer) FreeSlots() int { return pb.free }
+
+// freeSlotsScan is the reference implementation of FreeSlots: an exhaustive
+// scan of the entries. Tests cross-check the counter against it.
+func (pb *PrefetchBuffer) freeSlotsScan() int {
 	n := 0
 	for i := range pb.entries {
 		if !pb.entries[i].allocated || pb.entries[i].available {
@@ -288,11 +310,17 @@ func (pb *PrefetchBuffer) Reset() {
 		pb.entries[i] = entry{available: true}
 	}
 	pb.idx.clear()
+	pb.free = len(pb.entries)
 }
 
 // PrestageBuffer is the CLGP prestage buffer.
 type PrestageBuffer struct {
 	Buffer
+	// replaceable counts the entries claimable by Request (unallocated or
+	// with a zero consumers counter), maintained on every consumer-count
+	// transition so ReplaceableSlots — polled by CLGP's event-horizon check
+	// every idle cycle — is O(1). replaceableSlotsScan is the reference.
+	replaceable int
 }
 
 // NewPrestageBuffer creates a prestage buffer with the given entry count and
@@ -302,7 +330,7 @@ func NewPrestageBuffer(entries, latency int) (*PrestageBuffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PrestageBuffer{Buffer: *b}, nil
+	return &PrestageBuffer{Buffer: *b, replaceable: entries}, nil
 }
 
 // Request is called by CLGP when a CLTQ entry references line. If the line
@@ -314,9 +342,15 @@ func NewPrestageBuffer(entries, latency int) (*PrestageBuffer, error) {
 // false) is returned and the caller should retry later.
 func (sb *PrestageBuffer) Request(line isa.Addr) (alreadyIn, allocated bool) {
 	if i := sb.find(line); i >= 0 {
+		if sb.entries[i].consumers == 0 {
+			sb.replaceable--
+		}
 		sb.entries[i].consumers++
 		sb.touch(i)
 		return true, false
+	}
+	if sb.replaceable == 0 {
+		return false, false // every entry pinned; skip the victim scan
 	}
 	victim := -1
 	for i := range sb.entries {
@@ -332,8 +366,11 @@ func (sb *PrestageBuffer) Request(line isa.Addr) (alreadyIn, allocated bool) {
 	if victim < 0 {
 		return false, false
 	}
+	// The victim was replaceable by definition; pinning it with the first
+	// consumer removes it from the pool.
 	sb.evictInto(victim, line)
 	sb.entries[victim].consumers = 1
+	sb.replaceable--
 	return false, true
 }
 
@@ -352,6 +389,9 @@ func (sb *PrestageBuffer) Lookup(line isa.Addr) bool {
 	e.used = true
 	if e.consumers > 0 {
 		e.consumers--
+		if e.consumers == 0 {
+			sb.replaceable++
+		}
 	}
 	sb.touch(i)
 	return true
@@ -365,6 +405,9 @@ func (sb *PrestageBuffer) Invalidate(line isa.Addr) {
 	if i := sb.find(line); i >= 0 {
 		if sb.entries[i].used {
 			sb.usedLines++
+		}
+		if sb.entries[i].consumers > 0 {
+			sb.replaceable++
 		}
 		sb.entries[i] = entry{}
 		sb.idx.del(line)
@@ -387,11 +430,18 @@ func (sb *PrestageBuffer) ResetConsumers() {
 	for i := range sb.entries {
 		sb.entries[i].consumers = 0
 	}
+	sb.replaceable = len(sb.entries)
 }
 
 // ReplaceableSlots returns the number of entries claimable by Request
-// (unallocated or with a zero consumers counter).
-func (sb *PrestageBuffer) ReplaceableSlots() int {
+// (unallocated or with a zero consumers counter), from the incrementally
+// maintained counter.
+func (sb *PrestageBuffer) ReplaceableSlots() int { return sb.replaceable }
+
+// replaceableSlotsScan is the reference implementation of ReplaceableSlots:
+// an exhaustive scan of the entries. Tests cross-check the counter against
+// it.
+func (sb *PrestageBuffer) replaceableSlotsScan() int {
 	n := 0
 	for i := range sb.entries {
 		if !sb.entries[i].allocated || sb.entries[i].consumers == 0 {
@@ -407,4 +457,5 @@ func (sb *PrestageBuffer) Reset() {
 		sb.entries[i] = entry{}
 	}
 	sb.idx.clear()
+	sb.replaceable = len(sb.entries)
 }

@@ -380,3 +380,84 @@ func TestEvictionAndUsefulnessCounters(t *testing.T) {
 		t.Errorf("UsedLines = %d, want 1", pb.UsedLines())
 	}
 }
+
+// TestFreeSlotsCounterMatchesScan drives a PrefetchBuffer through a random
+// operation mix and checks, after every operation, that the O(1) FreeSlots
+// counter agrees with the exhaustive reference scan.
+func TestFreeSlotsCounterMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pb, err := NewPrefetchBuffer(1+rng.Intn(8), 1)
+		if err != nil {
+			return false
+		}
+		lines := []isa.Addr{0x000, 0x040, 0x080, 0x0c0, 0x100, 0x140, 0x180}
+		for op := 0; op < 400; op++ {
+			line := lines[rng.Intn(len(lines))]
+			switch rng.Intn(6) {
+			case 0, 1:
+				pb.Allocate(line)
+			case 2:
+				pb.Fill(line)
+			case 3:
+				pb.Lookup(line)
+			case 4:
+				pb.Invalidate(line)
+			case 5:
+				if rng.Intn(20) == 0 {
+					pb.Reset()
+				}
+			}
+			if pb.FreeSlots() != pb.freeSlotsScan() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReplaceableSlotsCounterMatchesScan is the PrestageBuffer counterpart:
+// the O(1) ReplaceableSlots counter must agree with the reference scan after
+// every operation, including the consumer-count transitions Request/Lookup
+// drive and the bulk ResetConsumers a misprediction flush performs.
+func TestReplaceableSlotsCounterMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sb, err := NewPrestageBuffer(1+rng.Intn(8), 1)
+		if err != nil {
+			return false
+		}
+		lines := []isa.Addr{0x000, 0x040, 0x080, 0x0c0, 0x100, 0x140, 0x180}
+		for op := 0; op < 400; op++ {
+			line := lines[rng.Intn(len(lines))]
+			switch rng.Intn(7) {
+			case 0, 1:
+				sb.Request(line)
+			case 2:
+				sb.Fill(line)
+			case 3:
+				sb.Lookup(line)
+			case 4:
+				sb.Invalidate(line)
+			case 5:
+				if rng.Intn(10) == 0 {
+					sb.ResetConsumers()
+				}
+			case 6:
+				if rng.Intn(20) == 0 {
+					sb.Reset()
+				}
+			}
+			if sb.ReplaceableSlots() != sb.replaceableSlotsScan() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"clgp/internal/core"
+	"clgp/internal/workload"
+)
+
+// fusedKey identifies jobs that can run as lanes of one fused engine: same
+// workload image, same trace container (or the same in-memory trace) and the
+// same window cap, so a single shared trace source serves every lane.
+type fusedKey struct {
+	w      *workload.Workload
+	file   string
+	window int
+}
+
+// FusedBatch is one lane batch produced by FusedJobs: the positions (into
+// the original job list) of the jobs that fuse over one shared trace.
+type FusedBatch struct {
+	// Key positions index the job slice FusedJobs was given.
+	Positions []int
+}
+
+// FusedJobs partitions a job list into lane batches. Jobs sharing a
+// workload, trace file and window cap land in one batch, in first-appearance
+// order; batch lanes keep the original job order. SweepJobs output — and the
+// dispatch layer's shard jobs, which share workload images through its
+// cache — groups into one batch per workload column.
+func FusedJobs(jobs []Job) []FusedBatch {
+	order := make([]fusedKey, 0, 8)
+	byKey := make(map[fusedKey][]int, 8)
+	for i, j := range jobs {
+		k := fusedKey{w: j.Workload, file: j.TraceFile, window: j.Window}
+		if _, seen := byKey[k]; !seen {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+	out := make([]FusedBatch, len(order))
+	for bi, k := range order {
+		out[bi] = FusedBatch{Positions: byKey[k]}
+	}
+	return out
+}
+
+// RunFused executes the jobs like Run, but fuses jobs of the same workload
+// into lockstep lanes over one shared trace source (core.FusedEngine): the
+// trace is decoded and its window managed once per workload column instead
+// of once per job. Results are returned in job order and are bit-identical
+// to Run's. The worker pool parallelises across batches; lanes within a
+// batch are inherently sequential (they share the decode stream).
+//
+// Wall-clock accounting: a lane has no meaningful individual wall time, so
+// each result carries an equal share of its batch's wall time — aggregate
+// throughput over the batch stays truthful.
+func (rn Runner) RunFused(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	batches := FusedJobs(jobs)
+	workers := rn.EffectiveWorkers()
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	if workers <= 1 {
+		for _, b := range batches {
+			runFusedBatch(jobs, b.Positions, results)
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bi := range idx {
+				runFusedBatch(jobs, batches[bi].Positions, results)
+			}
+		}()
+	}
+	for bi := range batches {
+		idx <- bi
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runFusedBatch runs one lane batch to completion, writing results at the
+// batch's original job positions.
+func runFusedBatch(jobs []Job, positions []int, results []Result) {
+	start := time.Now()
+	fail := func(err error) {
+		for _, i := range positions {
+			name := jobs[i].Name
+			if name == "" {
+				name = jobs[i].Config.Name
+			}
+			results[i] = Result{Name: name, Err: err}
+		}
+	}
+	first := jobs[positions[0]]
+	if first.Workload == nil {
+		fail(fmt.Errorf("sim: fused batch has no workload"))
+		return
+	}
+	src, cleanup, err := first.traceSource()
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer cleanup()
+	cfgs := make([]core.Config, len(positions))
+	for k, i := range positions {
+		cfgs[k] = jobs[i].Config
+	}
+	fe, err := core.NewFusedEngine(cfgs, first.Workload.Dict, src)
+	if err != nil {
+		fail(err)
+		return
+	}
+	sts, err := fe.Run()
+	if err != nil {
+		fail(err)
+		return
+	}
+	per := time.Since(start) / time.Duration(len(positions))
+	for k, i := range positions {
+		name := jobs[i].Name
+		if name == "" {
+			name = jobs[i].Config.Name
+		}
+		st := sts[k]
+		if name != "" {
+			st.Name = name
+		}
+		results[i] = Result{Name: st.Name, Stats: st, Wall: per}
+	}
+}

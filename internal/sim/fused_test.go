@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFusedJobsBatching checks the batch planner: one workload's grid is one
+// batch with lanes in job order, and a multi-workload list splits into one
+// batch per workload in first-appearance order.
+func TestFusedJobsBatching(t *testing.T) {
+	w1 := benchWorkload(t, 4_000, 21)
+	jobs := grid16(w1)
+	batches := FusedJobs(jobs)
+	if len(batches) != 1 {
+		t.Fatalf("one-workload grid split into %d batches, want 1", len(batches))
+	}
+	for k, pos := range batches[0].Positions {
+		if pos != k {
+			t.Fatalf("batch positions %v are not in job order", batches[0].Positions)
+		}
+	}
+
+	w2 := benchWorkload(t, 4_000, 22)
+	mixed := append(grid16(w1)[:3], grid16(w2)[:2]...)
+	mixed = append(mixed, grid16(w1)[3:5]...)
+	batches = FusedJobs(mixed)
+	if len(batches) != 2 {
+		t.Fatalf("two-workload list split into %d batches, want 2", len(batches))
+	}
+	if got, want := batches[0].Positions, []int{0, 1, 2, 5, 6}; !reflect.DeepEqual(got, want) {
+		t.Errorf("first batch positions %v, want %v", got, want)
+	}
+	if got, want := batches[1].Positions, []int{3, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("second batch positions %v, want %v", got, want)
+	}
+}
+
+// TestRunFusedMatchesRun is the sim-layer acceptance property: RunFused must
+// return results bit-identical to Run for every job, in job order, serial
+// and pooled alike.
+func TestRunFusedMatchesRun(t *testing.T) {
+	w1 := benchWorkload(t, 10_000, 23)
+	w2 := benchWorkload(t, 10_000, 24)
+	jobs := append(grid16(w1), grid16(w2)...)
+	ref := Runner{Workers: 2}.Run(jobs)
+	for _, workers := range []int{1, 4} {
+		fused := Runner{Workers: workers}.RunFused(jobs)
+		if len(fused) != len(ref) {
+			t.Fatalf("workers=%d: %d fused results, want %d", workers, len(fused), len(ref))
+		}
+		for i := range jobs {
+			r, f := ref[i], fused[i]
+			if r.Err != nil || f.Err != nil {
+				t.Fatalf("job %s failed: run=%v fused=%v", jobs[i].Name, r.Err, f.Err)
+			}
+			if f.Name != r.Name {
+				t.Errorf("result %d named %q, want %q", i, f.Name, r.Name)
+			}
+			if !reflect.DeepEqual(f.Stats, r.Stats) {
+				t.Errorf("workers=%d: job %s diverged between fused and per-run execution:\nfused %+v\nrun   %+v",
+					workers, jobs[i].Name, f.Stats, r.Stats)
+			}
+		}
+	}
+}
