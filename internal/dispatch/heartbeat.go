@@ -1,0 +1,339 @@
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"clgp/internal/telemetry"
+)
+
+// Heartbeat-over-store: a worker executing a shard periodically commits its
+// full beat history as one JSONL object next to the shard results
+// (heartbeats/<shard>.jsonl), through the same Store interface results flow
+// through — so the dir and HTTP backends both carry liveness without any
+// new channel, and the orchestrator (or `clgpsim figures -progress` on
+// another machine) reads per-shard progress, rate and staleness from
+// nothing but the store.
+//
+// Each beat is rewritten whole rather than appended: both backends commit
+// objects atomically (temp+rename / hash-verified PUT), so the history is
+// always a valid JSONL object and a worker killed mid-beat leaves the
+// previous beat intact, never a torn line.
+const (
+	// HeartbeatsDir is the store subdirectory (and object-key prefix,
+	// slash-terminated) heartbeat objects live under.
+	HeartbeatsDir = "heartbeats"
+	// DefaultHeartbeatInterval is the beat period workers use unless
+	// configured otherwise.
+	DefaultHeartbeatInterval = 2 * time.Second
+	// staleBeats is how many missed intervals mark a shard stalled when no
+	// explicit stall-after duration is configured.
+	staleBeats = 4
+)
+
+// Heartbeat is one liveness/progress beat of a worker executing a shard.
+type Heartbeat struct {
+	// Shard and Name identify the shard being executed.
+	Shard int    `json:"shard"`
+	Name  string `json:"name"`
+	// Host labels the executing host (os.Hostname); PID its process.
+	Host string `json:"host"`
+	PID  int    `json:"pid"`
+	// Seq numbers the beat within this lease, from 0.
+	Seq int `json:"seq"`
+	// UnixMillis is the beat time.
+	UnixMillis int64 `json:"unix_millis"`
+	// IntervalMillis is the configured beat period, so readers can judge
+	// staleness without knowing the worker's flags.
+	IntervalMillis int64 `json:"interval_millis"`
+	// JobsDone / JobsTotal is the shard progress at beat time.
+	JobsDone  int `json:"jobs_done"`
+	JobsTotal int `json:"jobs_total"`
+	// Final marks the beat written as the worker finishes the shard.
+	Final bool `json:"final,omitempty"`
+}
+
+// Time returns the beat timestamp.
+func (h Heartbeat) Time() time.Time { return time.UnixMilli(h.UnixMillis) }
+
+// EncodeHeartbeats renders beats as the on-store JSONL object.
+func EncodeHeartbeats(beats []Heartbeat) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, b := range beats {
+		if err := enc.Encode(b); err != nil {
+			return nil, fmt.Errorf("dispatch: encoding heartbeat: %w", err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// ParseHeartbeats decodes a heartbeat JSONL object.
+func ParseHeartbeats(data []byte) ([]Heartbeat, error) {
+	var beats []Heartbeat
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var b Heartbeat
+		if err := json.Unmarshal(line, &b); err != nil {
+			return nil, fmt.Errorf("dispatch: heartbeat line %d: %w", len(beats), err)
+		}
+		beats = append(beats, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dispatch: reading heartbeats: %w", err)
+	}
+	return beats, nil
+}
+
+// HeartbeatWriter emits periodic heartbeats for one shard lease through a
+// Store. All methods are safe on a nil writer (heartbeats disabled), so
+// call sites need no conditionals. Beat write failures are logged at debug
+// and never fail the shard — liveness reporting must not take down the
+// work it reports on.
+type HeartbeatWriter struct {
+	st       Store
+	sp       ShardPlan
+	interval time.Duration
+	log      *slog.Logger
+
+	mu    sync.Mutex
+	beats []Heartbeat
+	next  Heartbeat
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartHeartbeats begins beating for shard sp through st every interval
+// (DefaultHeartbeatInterval when non-positive). A first beat is committed
+// immediately so readers see the lease before any job completes. logger nil
+// means silent.
+func StartHeartbeats(st Store, sp ShardPlan, host string, interval time.Duration, logger *slog.Logger) *HeartbeatWriter {
+	if st == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
+	w := &HeartbeatWriter{
+		st:       st,
+		sp:       sp,
+		interval: interval,
+		log:      logger.With("shard", sp.Name),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	w.next = Heartbeat{
+		Shard:          sp.ID,
+		Name:           sp.Name,
+		Host:           host,
+		PID:            os.Getpid(),
+		IntervalMillis: interval.Milliseconds(),
+		JobsTotal:      len(sp.Specs),
+	}
+	w.beat(false)
+	go w.loop()
+	return w
+}
+
+func (w *HeartbeatWriter) loop() {
+	defer close(w.done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.beat(false)
+		}
+	}
+}
+
+// beat appends one beat to the history and commits the whole history.
+func (w *HeartbeatWriter) beat(final bool) {
+	w.mu.Lock()
+	b := w.next
+	b.UnixMillis = time.Now().UnixMilli()
+	b.Final = final
+	w.beats = append(w.beats, b)
+	w.next.Seq++
+	data, err := EncodeHeartbeats(w.beats)
+	w.mu.Unlock()
+	if err != nil {
+		w.log.Debug("heartbeat encode failed", "err", err)
+		return
+	}
+	if err := w.st.WriteHeartbeats(w.sp, data); err != nil {
+		w.log.Debug("heartbeat write failed", "err", err)
+		return
+	}
+	mHeartbeatsWritten.Inc()
+}
+
+// SetTotal overrides the shard's job total (it defaults to the plan size).
+func (w *HeartbeatWriter) SetTotal(n int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.next.JobsTotal = n
+	w.mu.Unlock()
+}
+
+// JobDone records one completed job; the new count rides the next beat.
+// (The clgp_dispatch_jobs_done_total counter is incremented by the shard
+// runner itself, so it counts even with heartbeats disabled.)
+func (w *HeartbeatWriter) JobDone() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.next.JobsDone++
+	w.mu.Unlock()
+}
+
+// Stop ends the beat loop and commits a final beat marking the lease done.
+func (w *HeartbeatWriter) Stop() {
+	if w == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+	w.beat(true)
+}
+
+// ShardStatus is one row of a sweep progress report, derived from the
+// manifest, the shard-result objects and the heartbeat history.
+type ShardStatus struct {
+	// ID and Name identify the shard.
+	ID   int
+	Name string
+	// State is "pending" (no lease seen), "running", "stalled" (heartbeats
+	// present but stale) or "done" (results committed).
+	State string
+	// JobsDone / JobsTotal is the last reported progress.
+	JobsDone, JobsTotal int
+	// Host is the last host that held the lease.
+	Host string
+	// LastBeat is the time of the newest heartbeat (zero when pending).
+	LastBeat time.Time
+	// Age is now minus LastBeat (zero when pending or done).
+	Age time.Duration
+	// ETA estimates time to completion from the observed job rate (zero
+	// when unknown).
+	ETA time.Duration
+}
+
+// StallThreshold resolves the staleness cutoff for a beat history:
+// stallAfter when positive, otherwise staleBeats times the beat's own
+// reported interval.
+func StallThreshold(stallAfter time.Duration, intervalMillis int64) time.Duration {
+	if stallAfter > 0 {
+		return stallAfter
+	}
+	iv := time.Duration(intervalMillis) * time.Millisecond
+	if iv <= 0 {
+		iv = DefaultHeartbeatInterval
+	}
+	return staleBeats * iv
+}
+
+// SweepProgress derives the per-shard progress report for a sweep at time
+// now. A shard with stale heartbeats (older than stallAfter, or
+// staleBeats×interval when stallAfter is 0) reports "stalled" — the early
+// dead-worker signal the orchestrator surfaces before the retry timeout
+// fires. The function only reads the store, so it works from any machine
+// and is driven by a caller-supplied clock in tests.
+func SweepProgress(st Store, m *Manifest, now time.Time, stallAfter time.Duration) ([]ShardStatus, error) {
+	statuses := make([]ShardStatus, len(m.Shards))
+	for i, sp := range m.Shards {
+		s := ShardStatus{ID: sp.ID, Name: sp.Name, JobsTotal: len(sp.Specs), State: "pending"}
+		done, err := st.ShardComplete(sp)
+		if err != nil {
+			return nil, err
+		}
+		beats, herr := loadBeats(st, sp)
+		if herr != nil {
+			return nil, herr
+		}
+		if len(beats) > 0 {
+			last := beats[len(beats)-1]
+			s.JobsDone, s.JobsTotal = last.JobsDone, last.JobsTotal
+			s.Host = last.Host
+			s.LastBeat = last.Time()
+			s.State = "running"
+			if !done {
+				s.Age = now.Sub(s.LastBeat)
+				if !last.Final && s.Age > StallThreshold(stallAfter, last.IntervalMillis) {
+					s.State = "stalled"
+				}
+				s.ETA = estimateETA(beats, now)
+			}
+		}
+		if done {
+			s.State = "done"
+			s.JobsDone, s.Age, s.ETA = s.JobsTotal, 0, 0
+		}
+		statuses[i] = s
+	}
+	return statuses, nil
+}
+
+func loadBeats(st Store, sp ShardPlan) ([]Heartbeat, error) {
+	data, err := st.LoadHeartbeats(sp)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ParseHeartbeats(data)
+}
+
+// estimateETA projects remaining work from the observed completion rate
+// across the beat history.
+func estimateETA(beats []Heartbeat, now time.Time) time.Duration {
+	last := beats[len(beats)-1]
+	remaining := last.JobsTotal - last.JobsDone
+	if remaining <= 0 || last.JobsDone == 0 {
+		return 0
+	}
+	elapsed := now.Sub(beats[0].Time())
+	if elapsed <= 0 {
+		return 0
+	}
+	rate := float64(last.JobsDone) / elapsed.Seconds()
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(remaining)/rate) * time.Second
+}
+
+// StalledShards filters a progress report down to the stalled rows.
+func StalledShards(statuses []ShardStatus) []ShardStatus {
+	var out []ShardStatus
+	for _, s := range statuses {
+		if s.State == "stalled" {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

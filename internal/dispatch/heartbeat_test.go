@@ -1,0 +1,396 @@
+package dispatch
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"clgp/internal/telemetry"
+)
+
+func TestHeartbeatEncodeParseRoundTrip(t *testing.T) {
+	beats := []Heartbeat{
+		{Shard: 1, Name: "shard-001", Host: "h1", PID: 42, Seq: 0,
+			UnixMillis: 1000, IntervalMillis: 100, JobsDone: 0, JobsTotal: 8},
+		{Shard: 1, Name: "shard-001", Host: "h1", PID: 42, Seq: 1,
+			UnixMillis: 1100, IntervalMillis: 100, JobsDone: 3, JobsTotal: 8},
+		{Shard: 1, Name: "shard-001", Host: "h1", PID: 42, Seq: 2,
+			UnixMillis: 1200, IntervalMillis: 100, JobsDone: 8, JobsTotal: 8, Final: true},
+	}
+	data, err := EncodeHeartbeats(beats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseHeartbeats(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(beats) {
+		t.Fatalf("round-tripped %d beats, want %d", len(back), len(beats))
+	}
+	for i := range beats {
+		if back[i] != beats[i] {
+			t.Errorf("beat %d mutated: wrote %+v read %+v", i, beats[i], back[i])
+		}
+	}
+	if !back[2].Final {
+		t.Error("final flag lost in round-trip")
+	}
+}
+
+// TestHeartbeatWriterOverStores drives a real HeartbeatWriter against both
+// store backends and checks the committed history: monotone sequence
+// numbers, job progress carried on later beats, and a final beat on Stop.
+func TestHeartbeatWriterOverStores(t *testing.T) {
+	stores := map[string]Store{
+		"dir":    NewDirStore(t.TempDir()),
+		"object": newTestObjectStore(t),
+	}
+	for name, st := range stores {
+		t.Run(name, func(t *testing.T) {
+			m, err := NewManifest(testGrid(t), 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := m.Shards[0]
+			hb := StartHeartbeats(st, sp, "test-host", 10*time.Millisecond, nil)
+			hb.JobDone()
+			hb.JobDone()
+			time.Sleep(30 * time.Millisecond) // let at least one ticker beat land
+			hb.Stop()
+
+			data, err := st.LoadHeartbeats(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			beats, err := ParseHeartbeats(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(beats) < 2 {
+				t.Fatalf("only %d beats committed, want at least initial + final", len(beats))
+			}
+			for i, b := range beats {
+				if b.Seq != i {
+					t.Errorf("beat %d has seq %d", i, b.Seq)
+				}
+				if b.Name != sp.Name || b.Host != "test-host" {
+					t.Errorf("beat %d mislabelled: %+v", i, b)
+				}
+			}
+			last := beats[len(beats)-1]
+			if !last.Final {
+				t.Error("last beat not marked final after Stop")
+			}
+			if last.JobsDone != 2 || last.JobsTotal != len(sp.Specs) {
+				t.Errorf("final beat progress %d/%d, want 2/%d", last.JobsDone, last.JobsTotal, len(sp.Specs))
+			}
+		})
+	}
+}
+
+// TestNilHeartbeatWriterIsSafe: every method must be a no-op on nil, so
+// call sites with heartbeats disabled need no conditionals.
+func TestNilHeartbeatWriterIsSafe(t *testing.T) {
+	var hb *HeartbeatWriter
+	hb.SetTotal(5)
+	hb.JobDone()
+	hb.Stop()
+}
+
+// TestSweepProgressStates exercises the full state machine on a fake
+// clock: pending (no beats), running (fresh beats), stalled (stale beats —
+// the dead-worker signal), and done (results committed), plus the ETA
+// projection from the observed job rate.
+func TestSweepProgressStates(t *testing.T) {
+	st := NewDirStore(t.TempDir())
+	m, err := NewManifest(testGrid(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.UnixMilli(1_000_000)
+	// Shard 0: a worker that beat twice (4 of 8 jobs after 1s) and then
+	// went silent. Shard 1: never leased.
+	beats := []Heartbeat{
+		{Shard: 0, Name: m.Shards[0].Name, Host: "w1", Seq: 0,
+			UnixMillis: base.UnixMilli(), IntervalMillis: 100, JobsDone: 0, JobsTotal: 8},
+		{Shard: 0, Name: m.Shards[0].Name, Host: "w1", Seq: 1,
+			UnixMillis: base.Add(time.Second).UnixMilli(), IntervalMillis: 100, JobsDone: 4, JobsTotal: 8},
+	}
+	data, err := EncodeHeartbeats(beats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteHeartbeats(m.Shards[0], data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Just after the second beat: running, ETA ≈ remaining/rate = 4/(4/s) = 1s.
+	now := base.Add(time.Second + 50*time.Millisecond)
+	statuses, err := SweepProgress(st, m, now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := statuses[0].State; got != "running" {
+		t.Fatalf("fresh beats: state %q, want running", got)
+	}
+	if statuses[0].JobsDone != 4 || statuses[0].Host != "w1" {
+		t.Errorf("progress row %+v, want 4 jobs done on w1", statuses[0])
+	}
+	if eta := statuses[0].ETA; eta < 500*time.Millisecond || eta > 2*time.Second {
+		t.Errorf("ETA %v, want ≈1s from the observed 4 jobs/sec", eta)
+	}
+	if got := statuses[1].State; got != "pending" {
+		t.Errorf("unleased shard state %q, want pending", got)
+	}
+
+	// Past the default threshold (staleBeats × 100ms): the dead worker is
+	// flagged stalled — long before any multi-second retry timeout fires.
+	now = base.Add(time.Second + StallThreshold(0, 100) + time.Millisecond)
+	statuses, err = SweepProgress(st, m, now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := statuses[0].State; got != "stalled" {
+		t.Fatalf("stale beats: state %q, want stalled", got)
+	}
+	if len(StalledShards(statuses)) != 1 {
+		t.Errorf("StalledShards returned %v, want exactly shard 0", StalledShards(statuses))
+	}
+
+	// An explicit stall-after overrides the beat-interval heuristic.
+	statuses, err = SweepProgress(st, m, base.Add(time.Second+60*time.Millisecond), 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := statuses[0].State; got != "stalled" {
+		t.Errorf("explicit -stall-after: state %q, want stalled", got)
+	}
+
+	// Committed results trump staleness: the shard reports done.
+	recs, err := RunShardStore(st, m, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteShardResults(m.Shards[0], recs); err != nil {
+		t.Fatal(err)
+	}
+	statuses, err = SweepProgress(st, m, now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := statuses[0].State; got != "done" {
+		t.Fatalf("committed shard state %q, want done", got)
+	}
+	if statuses[0].JobsDone != statuses[0].JobsTotal {
+		t.Errorf("done shard reports %d/%d jobs", statuses[0].JobsDone, statuses[0].JobsTotal)
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink: the stall monitor logs from its
+// own goroutine while the test reads the buffer afterwards.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// stallingLauncher simulates a worker that leases a shard, beats once, goes
+// silent past the stall threshold, and then recovers and finishes — so the
+// orchestrator's monitor must flag the stall even though the lease
+// ultimately succeeds and no retry ever fires.
+type stallingLauncher struct {
+	st      Store
+	silence time.Duration
+}
+
+func (l *stallingLauncher) Slots() int { return 1 }
+
+func (l *stallingLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) (string, error) {
+	const host = "stall-host"
+	// One immediate beat, then nothing: the hour-long interval guarantees
+	// the ticker never fires during the silent window.
+	hb := StartHeartbeats(l.st, m.Shards[shard], host, time.Hour, nil)
+	time.Sleep(l.silence)
+	recs, err := RunShardObserved(l.st, m, shard, 1, func(done, total int) { hb.JobDone() })
+	if err != nil {
+		hb.Stop()
+		return host, err
+	}
+	err = l.st.WriteShardResults(m.Shards[shard], recs)
+	hb.Stop()
+	return host, err
+}
+
+// TestOrchestratorFlagsStallBeforeRetry is the forced-dead-worker run: a
+// worker stops beating mid-shard, and the orchestrator must surface the
+// stall through its logger while the lease is still in flight — before the
+// retry machinery would ever get involved (the lease succeeds; Retries
+// stays 0).
+func TestOrchestratorFlagsStallBeforeRetry(t *testing.T) {
+	specs := testGrid(t)
+	st := NewDirStore(t.TempDir())
+	logBuf := &syncBuffer{}
+	o := &Orchestrator{
+		Store:      st,
+		Launcher:   &stallingLauncher{st: st, silence: 700 * time.Millisecond},
+		Logger:     slog.New(slog.NewTextHandler(logBuf, nil)),
+		StallAfter: 150 * time.Millisecond,
+	}
+	out, err := o.Run(specs, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Retries != 0 {
+		t.Fatalf("lease was retried %d times; the stall signal must not depend on retry", out.Retries)
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, "shard stalled") {
+		t.Errorf("stalled shard never flagged in orchestrator logs:\n%s", logs)
+	}
+	if !strings.Contains(logs, "stall-host") {
+		t.Errorf("stall warning does not name the silent host:\n%s", logs)
+	}
+}
+
+// scrapeMetrics fetches url and returns the Prometheus text body.
+func scrapeMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts the value of the first sample line whose name+labels
+// start with prefix, or -1 when absent.
+func metricValue(body, prefix string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, prefix) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			continue
+		}
+		return v
+	}
+	return -1
+}
+
+// TestStoreServerMetricsEndpoint: the serve-side debug mux must expose
+// request/byte counters that move with real store traffic, next to the
+// process gauges and pprof.
+func TestStoreServerMetricsEndpoint(t *testing.T) {
+	srv, err := NewStoreServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.DebugMux(telemetry.Default))
+	t.Cleanup(ts.Close)
+	st := NewObjectStore(ts.URL)
+	st.CacheDir = t.TempDir()
+
+	m, err := NewManifest(testGrid(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadManifest(); err != nil {
+		t.Fatal(err)
+	}
+
+	body := scrapeMetrics(t, ts.URL+"/metrics")
+	if v := metricValue(body, `clgp_store_server_requests_total{method="PUT"}`); v < 1 {
+		t.Errorf("PUT counter %v after a manifest write, want >= 1", v)
+	}
+	if v := metricValue(body, `clgp_store_server_requests_total{method="GET"}`); v < 1 {
+		t.Errorf("GET counter %v after a manifest load, want >= 1", v)
+	}
+	if v := metricValue(body, "clgp_process_goroutines"); v < 1 {
+		t.Errorf("process goroutine gauge %v, want >= 1", v)
+	}
+	if !strings.Contains(body, "clgp_store_client_put_latency_us_bucket") {
+		t.Error("client PUT latency histogram missing from exposition")
+	}
+	// The debug mux also mounts pprof and expvar beside /metrics.
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}
+
+// TestWorkerMetricsCounters: executing a shard through RunShardObserved
+// must move the worker-side dispatch counters that `clgpsim worker
+// -metrics-addr` exposes, and report per-job progress to the observer.
+func TestWorkerMetricsCounters(t *testing.T) {
+	st := NewDirStore(t.TempDir())
+	m, err := NewManifest(testGrid(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(telemetry.MetricsMux(telemetry.Default))
+	t.Cleanup(ts.Close)
+	before := metricValue(scrapeMetrics(t, ts.URL+"/metrics"), "clgp_dispatch_jobs_done_total")
+	if before < 0 {
+		before = 0
+	}
+
+	var calls int
+	recs, err := RunShardObserved(st, m, 0, 1, func(done, total int) {
+		calls++
+		if done != calls || total != len(m.Shards[0].Specs) {
+			t.Errorf("observer saw %d/%d, want %d/%d", done, total, calls, len(m.Shards[0].Specs))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(recs) {
+		t.Errorf("observer called %d times for %d jobs", calls, len(recs))
+	}
+	after := metricValue(scrapeMetrics(t, ts.URL+"/metrics"), "clgp_dispatch_jobs_done_total")
+	if want := before + float64(len(recs)); after < want {
+		t.Errorf("clgp_dispatch_jobs_done_total = %v after shard, want >= %v", after, want)
+	}
+}

@@ -2,10 +2,12 @@ package dispatch
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"os/exec"
 	"runtime"
 	"strconv"
+	"time"
 )
 
 // Launcher is how the orchestrator turns a leased shard into running work.
@@ -63,6 +65,11 @@ type InProcessLauncher struct {
 	// Workers is the sim worker-pool size per shard (<= 0 selects
 	// GOMAXPROCS).
 	Workers int
+	// Heartbeat is the beat period for shard progress (0 selects
+	// DefaultHeartbeatInterval, negative disables heartbeats).
+	Heartbeat time.Duration
+	// Logger receives heartbeat diagnostics; nil is silent.
+	Logger *slog.Logger
 }
 
 // Slots implements Launcher: one shard at a time (each shard already
@@ -72,11 +79,20 @@ func (l *InProcessLauncher) Slots() int { return 1 }
 // Launch implements Launcher.
 func (l *InProcessLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) (string, error) {
 	const host = "in-process"
-	recs, err := RunShardStore(l.Store, m, shard, l.Workers)
+	var hb *HeartbeatWriter
+	if l.Heartbeat >= 0 {
+		hb = StartHeartbeats(l.Store, m.Shards[shard], host, l.Heartbeat, l.Logger)
+	}
+	recs, err := RunShardObserved(l.Store, m, shard, l.Workers, func(done, total int) {
+		hb.JobDone()
+	})
 	if err != nil {
+		hb.Stop()
 		return host, err
 	}
-	return host, l.Store.WriteShardResults(m.Shards[shard], recs)
+	err = l.Store.WriteShardResults(m.Shards[shard], recs)
+	hb.Stop()
+	return host, err
 }
 
 // ChildLauncher re-execs a worker process per shard and runs up to Parallel

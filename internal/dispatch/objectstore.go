@@ -35,13 +35,17 @@ const (
 
 	// manifestKey, shardKeyPrefix and traceKeyPrefix lay out the sweep
 	// inside the store's key space, mirroring the directory layout.
-	manifestKey    = ManifestFile
-	shardKeyPrefix = ShardsDir + "/"
-	traceKeyPrefix = "traces/"
+	manifestKey        = ManifestFile
+	shardKeyPrefix     = ShardsDir + "/"
+	traceKeyPrefix     = "traces/"
+	heartbeatKeyPrefix = HeartbeatsDir + "/"
 )
 
 // shardKey returns the object key of a shard's result JSONL.
 func shardKey(sp ShardPlan) string { return shardKeyPrefix + sp.Name + ".jsonl" }
+
+// heartbeatKey returns the object key of a shard's heartbeat JSONL.
+func heartbeatKey(sp ShardPlan) string { return heartbeatKeyPrefix + sp.Name + ".jsonl" }
 
 // TraceObjectKey returns the content-addressed object key a trace container
 // is published under: its workload generation fingerprint, not its file
@@ -95,6 +99,8 @@ func (s *ObjectStore) Location() string { return s.BaseURL }
 // put uploads one object with its content hash; the server commits it
 // atomically or not at all.
 func (s *ObjectStore) put(key string, data []byte) error {
+	start := time.Now()
+	defer func() { observeStorePut(len(data), time.Since(start)) }()
 	req, err := http.NewRequest(http.MethodPut, s.objectURL(key), bytes.NewReader(data))
 	if err != nil {
 		return fmt.Errorf("dispatch: store put %s: %w", key, err)
@@ -116,7 +122,9 @@ func (s *ObjectStore) put(key string, data []byte) error {
 // ETag, so truncated or corrupted transfers surface here instead of as
 // garbage results downstream. A missing object returns an error wrapping
 // os.ErrNotExist.
-func (s *ObjectStore) get(key string) ([]byte, error) {
+func (s *ObjectStore) get(key string) (data []byte, err error) {
+	start := time.Now()
+	defer func() { observeStoreGet(len(data), time.Since(start)) }()
 	resp, err := s.client().Get(s.objectURL(key))
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: store get %s: %w", key, err)
@@ -129,7 +137,7 @@ func (s *ObjectStore) get(key string) ([]byte, error) {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nil, fmt.Errorf("dispatch: store get %s: %s: %s", key, resp.Status, strings.TrimSpace(string(body)))
 	}
-	data, err := io.ReadAll(resp.Body)
+	data, err = io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: store get %s: %w", key, err)
 	}
@@ -240,16 +248,29 @@ func (s *ObjectStore) LoadShardResults(sp ShardPlan) ([]RunRecord, error) {
 
 // ClearShards implements Store.
 func (s *ObjectStore) ClearShards() error {
-	keys, err := s.list(shardKeyPrefix)
-	if err != nil {
-		return err
-	}
-	for _, key := range keys {
-		if err := s.del(key); err != nil {
+	for _, prefix := range []string{shardKeyPrefix, heartbeatKeyPrefix} {
+		keys, err := s.list(prefix)
+		if err != nil {
 			return err
+		}
+		for _, key := range keys {
+			if err := s.del(key); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// WriteHeartbeats implements Store: the hash-verified PUT commits the
+// history atomically, like every other object.
+func (s *ObjectStore) WriteHeartbeats(sp ShardPlan, data []byte) error {
+	return s.put(heartbeatKey(sp), data)
+}
+
+// LoadHeartbeats implements Store.
+func (s *ObjectStore) LoadHeartbeats(sp ShardPlan) ([]byte, error) {
+	return s.get(heartbeatKey(sp))
 }
 
 func (s *ObjectStore) cacheDir() string {

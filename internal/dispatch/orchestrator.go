@@ -3,13 +3,15 @@ package dispatch
 import (
 	"errors"
 	"fmt"
-	"io"
+	"log/slog"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"clgp/internal/sim"
+	"clgp/internal/telemetry"
 )
 
 // Mode selects the built-in launcher the orchestrator uses when no explicit
@@ -74,8 +76,17 @@ type Orchestrator struct {
 	// Retry is the per-shard retry policy; the zero value means a single
 	// attempt per shard.
 	Retry RetryPolicy
-	// Log receives progress lines; nil is silent.
-	Log io.Writer
+	// Logger receives structured progress (leases, retries, stalls) with
+	// shard/host/attempt attributes; nil is silent.
+	Logger *slog.Logger
+	// HeartbeatInterval is the beat period the built-in in-process launcher
+	// uses (0 selects DefaultHeartbeatInterval, negative disables).
+	HeartbeatInterval time.Duration
+	// StallAfter is how stale a running shard's heartbeats may get before
+	// the orchestrator warns it stalled — the early dead-worker signal that
+	// fires before the retry timeout. 0 selects 3×DefaultHeartbeatInterval;
+	// negative disables stall monitoring.
+	StallAfter time.Duration
 }
 
 // Outcome reports one orchestrator run.
@@ -87,6 +98,9 @@ type Outcome struct {
 	// Retries is the number of extra shard leases taken after launch
 	// failures (0 on a fault-free sweep).
 	Retries int
+	// ExcludedHosts names the hosts excluded after failing a lease, sorted
+	// and deduplicated across shards (empty on a fault-free sweep).
+	ExcludedHosts []string
 	// Records are the merged results of all shards, in grid order.
 	Records []RunRecord
 	// Wall is the wall-clock time of this invocation (excluding skipped
@@ -132,10 +146,12 @@ func (o *Outcome) RanSummary() sim.Summary {
 	return sim.Summarise(results, o.Wall)
 }
 
-func (o *Orchestrator) logf(format string, args ...any) {
-	if o.Log != nil {
-		fmt.Fprintf(o.Log, format+"\n", args...)
+// log resolves the structured logger (nil Logger is silent).
+func (o *Orchestrator) log() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
 	}
+	return telemetry.NopLogger()
 }
 
 // store resolves the checkpoint backend for this run.
@@ -160,7 +176,7 @@ func (o *Orchestrator) launcher(st Store, npending int) (Launcher, error) {
 	}
 	switch o.Mode {
 	case ModeInProcess:
-		return &InProcessLauncher{Store: st, Workers: o.Workers}, nil
+		return &InProcessLauncher{Store: st, Workers: o.Workers, Heartbeat: o.HeartbeatInterval, Logger: o.Logger}, nil
 	case ModeChild:
 		parallel := o.Parallel
 		if parallel <= 0 {
@@ -219,10 +235,11 @@ func (o *Orchestrator) Run(specs []JobSpec, nShards int, resume bool) (*Outcome,
 	if err != nil {
 		return nil, err
 	}
-	o.logf("sweep %s: %d jobs in %d shards (%d complete, %d to run, %d slots)",
-		m.GridHash, m.NumJobs(), len(m.Shards), len(out.Skipped), len(pending), ln.Slots())
+	o.log().Info("sweep planned",
+		"grid", m.GridHash, "jobs", m.NumJobs(), "shards", len(m.Shards),
+		"complete", len(out.Skipped), "pending", len(pending), "slots", ln.Slots())
 
-	out.Retries, err = o.execute(st, ln, m, pending)
+	out.Retries, out.ExcludedHosts, err = o.execute(st, ln, m, pending)
 	if err != nil {
 		return nil, err
 	}
@@ -295,10 +312,13 @@ func (o *Orchestrator) resolveManifest(st Store, specs []JobSpec, nShards int, r
 }
 
 // execute leases the pending shards over the launcher's slots, applying the
-// retry policy per shard, and returns the total retries taken.
-func (o *Orchestrator) execute(st Store, ln Launcher, m *Manifest, pending []int) (int, error) {
+// retry policy per shard, and returns the total retries taken plus the
+// union of hosts excluded after failures. While shards run, a monitor
+// goroutine polls heartbeats and warns about stalled shards before their
+// retry timeout fires.
+func (o *Orchestrator) execute(st Store, ln Launcher, m *Manifest, pending []int) (int, []string, error) {
 	if len(pending) == 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
 	slots := ln.Slots()
 	if slots < 1 {
@@ -311,12 +331,18 @@ func (o *Orchestrator) execute(st Store, ln Launcher, m *Manifest, pending []int
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		retries  int
+		excluded = make(map[string]bool)
 		firstErr error
 	)
 	failed := func() bool {
 		mu.Lock()
 		defer mu.Unlock()
 		return firstErr != nil
+	}
+	if stallAfter := o.stallAfter(); stallAfter > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go o.monitorStalls(st, m, stallAfter, stop)
 	}
 	ids := make(chan int)
 	for s := 0; s < slots; s++ {
@@ -327,9 +353,12 @@ func (o *Orchestrator) execute(st Store, ln Launcher, m *Manifest, pending []int
 				if failed() {
 					continue // drain without running: fail fast
 				}
-				r, err := o.runShard(st, ln, m, id)
+				r, hosts, err := o.runShard(st, ln, m, id)
 				mu.Lock()
 				retries += r
+				for _, h := range hosts {
+					excluded[h] = true
+				}
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}
@@ -349,26 +378,98 @@ func (o *Orchestrator) execute(st Store, ln Launcher, m *Manifest, pending []int
 	}
 	close(ids)
 	wg.Wait()
-	return retries, firstErr
+	hosts := make([]string, 0, len(excluded))
+	for h := range excluded {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return retries, hosts, firstErr
+}
+
+// stallAfter resolves the stall threshold (0 = default, negative = off).
+func (o *Orchestrator) stallAfter() time.Duration {
+	if o.StallAfter != 0 {
+		return o.StallAfter
+	}
+	return 3 * DefaultHeartbeatInterval
+}
+
+// monitorStalls polls heartbeats while shards run and warns — once per
+// stall episode per shard — when a running shard's beats go stale. This is
+// purely a reporting channel: recovery still belongs to the retry policy,
+// but the operator learns about a dead worker as soon as its heartbeats
+// age out instead of when the lease finally fails.
+func (o *Orchestrator) monitorStalls(st Store, m *Manifest, stallAfter time.Duration, stop <-chan struct{}) {
+	poll := stallAfter / 2
+	if poll < 100*time.Millisecond {
+		poll = 100 * time.Millisecond
+	}
+	if poll > 5*time.Second {
+		poll = 5 * time.Second
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	flagged := make(map[int]bool)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			statuses, err := SweepProgress(st, m, time.Now(), stallAfter)
+			if err != nil {
+				continue // transient store trouble; the next poll retries
+			}
+			for _, s := range statuses {
+				if s.State != "stalled" {
+					delete(flagged, s.ID)
+					continue
+				}
+				if flagged[s.ID] {
+					continue
+				}
+				flagged[s.ID] = true
+				mStallsFlagged.Inc()
+				o.log().Warn("shard stalled: heartbeats stale",
+					"shard", s.Name, "host", s.Host,
+					"age", s.Age.Round(time.Millisecond),
+					"jobs_done", s.JobsDone, "jobs_total", s.JobsTotal,
+					"stall_after", stallAfter)
+			}
+		}
+	}
 }
 
 // runShard drives one shard through lease/verify/retry until it commits or
 // the retry budget is spent. A launcher reporting success without the store
 // holding the result object is treated as a failure — commit, not exit
 // status, is the completion signal.
-func (o *Orchestrator) runShard(st Store, ln Launcher, m *Manifest, id int) (retries int, err error) {
+func (o *Orchestrator) runShard(st Store, ln Launcher, m *Manifest, id int) (retries int, excludedHosts []string, err error) {
 	sp := m.Shards[id]
+	lg := o.log().With("shard", sp.Name)
 	policy := o.Retry.withDefaults()
 	exclude := make(map[string]bool)
+	excludedList := func() []string {
+		hosts := make([]string, 0, len(exclude))
+		for h := range exclude {
+			hosts = append(hosts, h)
+		}
+		sort.Strings(hosts)
+		return hosts
+	}
 	var lastErr error
 	for attempt := 0; attempt < policy.Attempts; attempt++ {
 		if attempt > 0 {
 			delay := policy.Backoff(attempt - 1)
-			o.logf("  %s: retrying (lease %d/%d) in %v, excluding %d host(s)",
-				sp.Name, attempt+1, policy.Attempts, delay.Round(time.Millisecond), len(exclude))
+			lg.Warn("retrying shard",
+				"lease", attempt+1, "attempts", policy.Attempts,
+				"backoff", delay.Round(time.Millisecond),
+				"excluded_hosts", excludedList())
 			time.Sleep(delay)
+			mBackoffWait.Add(uint64(delay.Milliseconds()))
+			mRetries.Inc()
 			retries++
 		}
+		mLeases.Inc()
 		start := time.Now()
 		host, err := ln.Launch(m, id, exclude)
 		if err == nil {
@@ -383,16 +484,21 @@ func (o *Orchestrator) runShard(st Store, ln Launcher, m *Manifest, id int) (ret
 			}
 		}
 		if err == nil {
-			o.logf("  %s: done on %s in %v", sp.Name, host, time.Since(start).Round(time.Millisecond))
-			return retries, nil
+			lg.Info("shard done", "host", host,
+				"wall", time.Since(start).Round(time.Millisecond),
+				"lease", attempt+1)
+			return retries, excludedList(), nil
 		}
 		lastErr = err
 		if host != "" {
 			exclude[host] = true
 		}
-		o.logf("  %s: lease %d/%d failed on %s: %v", sp.Name, attempt+1, policy.Attempts, host, err)
+		lg.Warn("lease failed",
+			"lease", attempt+1, "attempts", policy.Attempts,
+			"host", host, "err", err)
 	}
-	return retries, fmt.Errorf("dispatch: shard %s failed after %d attempt(s): %w", sp.Name, policy.Attempts, lastErr)
+	return retries, excludedList(),
+		fmt.Errorf("dispatch: shard %s failed after %d attempt(s): %w", sp.Name, policy.Attempts, lastErr)
 }
 
 // Merge loads every shard's results from a sweep directory and returns them

@@ -204,7 +204,7 @@ func TestSSHLauncherExcludesFailedHost(t *testing.T) {
 			},
 		},
 		Retry: fastRetry,
-		Log:   testLogWriter{t},
+		Logger: testLogger(t),
 	}
 	out, err := o.Run(specs, 2, false)
 	if err != nil {

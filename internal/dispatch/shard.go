@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"clgp/internal/sim"
@@ -190,6 +191,16 @@ func RunShard(m *Manifest, id, workers int) ([]RunRecord, error) {
 // including its TraceFile reference, not the fetched local path — so shard
 // files merge identically whichever backend ran them.
 func RunShardStore(st Store, m *Manifest, id, workers int) ([]RunRecord, error) {
+	return RunShardObserved(st, m, id, workers, nil)
+}
+
+// RunShardObserved is RunShardStore with a progress hook: onJob is called
+// after each completed job with the done count and the shard total. It is
+// how heartbeat writers (and any other progress surface) observe a running
+// shard without the sim layer knowing about stores. onJob may be called
+// from worker-pool goroutines concurrently with each other's successor; a
+// nil hook behaves like RunShardStore.
+func RunShardObserved(st Store, m *Manifest, id, workers int, onJob func(done, total int)) ([]RunRecord, error) {
 	if id < 0 || id >= len(m.Shards) {
 		return nil, fmt.Errorf("dispatch: shard %d out of range (manifest has %d)", id, len(m.Shards))
 	}
@@ -217,6 +228,15 @@ func RunShardStore(st Store, m *Manifest, id, workers int) ([]RunRecord, error) 
 	// one shared trace source. Specs and result records are unchanged —
 	// fused results are bit-identical to streamed ones.
 	rn := sim.Runner{Workers: workers}
+	total := len(jobs)
+	var done atomic.Int64
+	rn.OnResult = func(i int, r sim.Result) {
+		mJobsDone.Inc()
+		n := int(done.Add(1))
+		if onJob != nil {
+			onJob(n, total)
+		}
+	}
 	var results []sim.Result
 	if m.Fused {
 		results = rn.RunFused(jobs)
@@ -334,23 +354,31 @@ func ShardComplete(dir string, sp ShardPlan) bool {
 }
 
 // ClearShards deletes every file in the shards subdirectory (complete
-// results and leftover temporaries alike); used when starting a sweep from
-// scratch in a directory holding an earlier checkpoint, possibly planned
-// with a different shard count.
+// results and leftover temporaries alike) and any stale heartbeat objects;
+// used when starting a sweep from scratch in a directory holding an earlier
+// checkpoint, possibly planned with a different shard count.
 func ClearShards(dir string) error {
-	shardDir := filepath.Join(dir, ShardsDir)
-	entries, err := os.ReadDir(shardDir)
+	for _, sub := range []string{ShardsDir, HeartbeatsDir} {
+		if err := clearDirFiles(filepath.Join(dir, sub)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func clearDirFiles(dir string) error {
+	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
-		return fmt.Errorf("dispatch: listing %s: %w", shardDir, err)
+		return fmt.Errorf("dispatch: listing %s: %w", dir, err)
 	}
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
 		}
-		if err := os.Remove(filepath.Join(shardDir, e.Name())); err != nil {
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
 			return fmt.Errorf("dispatch: clearing %s: %w", e.Name(), err)
 		}
 	}

@@ -3,6 +3,7 @@ package dispatch
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
@@ -43,9 +44,19 @@ type Store interface {
 	// LoadShardResults reads a completed shard's records and validates them
 	// against the plan.
 	LoadShardResults(sp ShardPlan) ([]RunRecord, error)
-	// ClearShards removes every shard result (and any leftover partials),
-	// used when starting a sweep from scratch over an old checkpoint.
+	// ClearShards removes every shard result (and any leftover partials)
+	// plus stale heartbeat objects, used when starting a sweep from scratch
+	// over an old checkpoint.
 	ClearShards() error
+
+	// WriteHeartbeats commits a shard's full heartbeat history (a JSONL
+	// object, see EncodeHeartbeats) atomically. Heartbeats are advisory:
+	// implementations commit whole-or-not-at-all like results, but a failed
+	// write only degrades liveness reporting, never the sweep.
+	WriteHeartbeats(sp ShardPlan, data []byte) error
+	// LoadHeartbeats reads a shard's heartbeat history. The error wraps
+	// os.ErrNotExist when no worker has beaten for the shard yet.
+	LoadHeartbeats(sp ShardPlan) ([]byte, error)
 
 	// FetchTrace resolves a spec's trace-container reference to a local
 	// file path. name is the spec's TraceFile value; fingerprint is the
@@ -107,6 +118,37 @@ func (s *DirStore) LoadShardResults(sp ShardPlan) ([]RunRecord, error) {
 
 // ClearShards implements Store.
 func (s *DirStore) ClearShards() error { return ClearShards(s.Dir) }
+
+// heartbeatFilePath returns the heartbeat JSONL file of a shard.
+func heartbeatFilePath(dir string, sp ShardPlan) string {
+	return filepath.Join(dir, HeartbeatsDir, sp.Name+".jsonl")
+}
+
+// WriteHeartbeats implements Store: temp+rename, like shard results.
+func (s *DirStore) WriteHeartbeats(sp ShardPlan, data []byte) error {
+	final := heartbeatFilePath(s.Dir, sp)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("dispatch: creating heartbeats directory: %w", err)
+	}
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dispatch: writing heartbeats for %s: %w", sp.Name, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("dispatch: committing heartbeats for %s: %w", sp.Name, err)
+	}
+	return nil
+}
+
+// LoadHeartbeats implements Store.
+func (s *DirStore) LoadHeartbeats(sp ShardPlan) ([]byte, error) {
+	data, err := os.ReadFile(heartbeatFilePath(s.Dir, sp))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: reading heartbeats for %s: %w", sp.Name, err)
+	}
+	return data, nil
+}
 
 // FetchTrace implements Store: with a shared filesystem the reference is
 // already a readable path, so it resolves to itself.

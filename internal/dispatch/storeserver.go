@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"clgp/internal/telemetry"
 )
 
 // StoreServer is the http.Handler serving the object-store protocol over a
@@ -64,7 +66,18 @@ func (s *StoreServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// DebugMux wraps the server in a mux that additionally exposes the
+// telemetry surface of reg (/metrics, /debug/pprof, /debug/vars). The
+// object protocol keeps the rest of the path space, so existing clients
+// are unaffected.
+func (s *StoreServer) DebugMux(reg *telemetry.Registry) *http.ServeMux {
+	mux := telemetry.MetricsMux(reg)
+	mux.Handle("/", s)
+	return mux
+}
+
 func (s *StoreServer) handleObject(w http.ResponseWriter, r *http.Request, key string) {
+	countServerRequest(r.Method)
 	file, err := s.cleanKey(key)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -100,6 +113,7 @@ func (s *StoreServer) handleObject(w http.ResponseWriter, r *http.Request, key s
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("Content-Length", fmt.Sprint(len(data)))
 		w.Write(data)
+		mServerBytesOut.Add(uint64(len(data)))
 	case http.MethodPut:
 		// Read the whole body before touching disk: a connection cut
 		// mid-upload fails here and commits nothing.
@@ -108,6 +122,7 @@ func (s *StoreServer) handleObject(w http.ResponseWriter, r *http.Request, key s
 			http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
 			return
 		}
+		mServerBytesIn.Add(uint64(len(data)))
 		sum := hashOf(data)
 		if want := r.Header.Get(ObjectHashHeader); want != "" && !strings.EqualFold(want, sum) {
 			http.Error(w, fmt.Sprintf("integrity mismatch: body hashes to %s, %s says %s; object not committed",

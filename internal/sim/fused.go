@@ -66,7 +66,7 @@ func (rn Runner) RunFused(jobs []Job) []Result {
 	}
 	if workers <= 1 {
 		for _, b := range batches {
-			runFusedBatch(jobs, b.Positions, results)
+			rn.runFusedBatch(jobs, b.Positions, results)
 		}
 		return results
 	}
@@ -77,7 +77,7 @@ func (rn Runner) RunFused(jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for bi := range idx {
-				runFusedBatch(jobs, batches[bi].Positions, results)
+				rn.runFusedBatch(jobs, batches[bi].Positions, results)
 			}
 		}()
 	}
@@ -90,8 +90,14 @@ func (rn Runner) RunFused(jobs []Job) []Result {
 }
 
 // runFusedBatch runs one lane batch to completion, writing results at the
-// batch's original job positions.
-func runFusedBatch(jobs []Job, positions []int, results []Result) {
+// batch's original job positions and notifying OnResult per lane (lanes
+// finish together, so the notifications burst at batch completion).
+func (rn Runner) runFusedBatch(jobs []Job, positions []int, results []Result) {
+	defer func() {
+		for _, i := range positions {
+			rn.notify(i, results[i])
+		}
+	}()
 	start := time.Now()
 	fail := func(err error) {
 		for _, i := range positions {

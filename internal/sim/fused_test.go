@@ -57,7 +57,7 @@ func TestRunFusedMatchesRun(t *testing.T) {
 			if f.Name != r.Name {
 				t.Errorf("result %d named %q, want %q", i, f.Name, r.Name)
 			}
-			if !reflect.DeepEqual(f.Stats, r.Stats) {
+			if !reflect.DeepEqual(f.Stats.WithoutTelemetry(), r.Stats.WithoutTelemetry()) {
 				t.Errorf("workers=%d: job %s diverged between fused and per-run execution:\nfused %+v\nrun   %+v",
 					workers, jobs[i].Name, f.Stats, r.Stats)
 			}

@@ -22,6 +22,7 @@ import (
 	"clgp/internal/core"
 	"clgp/internal/isa"
 	"clgp/internal/stats"
+	"clgp/internal/telemetry"
 	"clgp/internal/trace"
 	"clgp/internal/tracefile"
 	"clgp/internal/workload"
@@ -72,6 +73,18 @@ func (r Result) CyclesPerSec() float64 {
 type Runner struct {
 	// Workers is the worker-pool size; <= 0 selects GOMAXPROCS.
 	Workers int
+	// OnResult, when set, is called once per completed job with its index
+	// and result — the progress hook heartbeats hang off. It is invoked
+	// from pool goroutines concurrently, so it must be safe for concurrent
+	// use; a slow hook slows the pool.
+	OnResult func(i int, r Result)
+}
+
+// notify invokes the OnResult hook if set.
+func (rn Runner) notify(i int, r Result) {
+	if rn.OnResult != nil {
+		rn.OnResult(i, r)
+	}
 }
 
 // EffectiveWorkers resolves the pool size actually used by Run.
@@ -94,6 +107,7 @@ func (rn Runner) Run(jobs []Job) []Result {
 	if workers <= 1 {
 		for i := range jobs {
 			results[i] = runOne(jobs[i])
+			rn.notify(i, results[i])
 		}
 		return results
 	}
@@ -105,6 +119,7 @@ func (rn Runner) Run(jobs []Job) []Result {
 			defer wg.Done()
 			for i := range idx {
 				results[i] = runOne(jobs[i])
+				rn.notify(i, results[i])
 			}
 		}()
 	}
@@ -360,6 +375,13 @@ type BenchRecord struct {
 	// Retries is the number of extra shard leases a sharded sweep took
 	// after worker failures (0 on a fault-free or unsharded batch).
 	Retries int `json:"retries,omitempty"`
+	// ExcludedHosts lists hosts the retry policy excluded after they
+	// failed a shard (empty on fault-free or single-host sweeps).
+	ExcludedHosts []string `json:"excluded_hosts,omitempty"`
+	// Host summarises host utilisation sampled over the batch — CPU%,
+	// peak RSS, load and estimated core-hours — so a record states what
+	// the throughput cost, not just what it was (nil when not sampled).
+	Host *telemetry.HostUsage `json:"host,omitempty"`
 }
 
 // RecordFromSummary converts a Summary to a BenchRecord.

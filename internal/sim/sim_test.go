@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -157,7 +158,7 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 		t.Fatalf("round-tripped %d records, want %d", len(back), len(recs))
 	}
 	for i := range recs {
-		if back[i] != recs[i] {
+		if !reflect.DeepEqual(back[i], recs[i]) {
 			t.Errorf("record %d mutated by round-trip:\nwrote %+v\nread  %+v", i, recs[i], back[i])
 		}
 	}

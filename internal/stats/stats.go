@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"clgp/internal/telemetry"
 )
 
 // Source identifies which storage level served a fetch or prefetch request.
@@ -142,6 +144,22 @@ type Results struct {
 	// BusConflicts counts cycles in which a request was delayed by bus
 	// arbitration.
 	BusConflicts uint64
+
+	// Telemetry carries the engine's simulator-speed and instrumentation
+	// counters (skipped cycles, fast-forward jumps, prefetch cancels,
+	// window residency). Unlike every field above it is mode-dependent —
+	// the clock mode and trace backing change it while the architectural
+	// results stay bit-identical — so cross-mode equivalence checks must
+	// compare WithoutTelemetry(). Merge drops it for the same reason.
+	Telemetry *telemetry.Snapshot `json:"Telemetry,omitempty"`
+}
+
+// WithoutTelemetry returns a copy of r with the mode-dependent Telemetry
+// block stripped, for bit-identity comparisons across clock modes, trace
+// backings, and fused-vs-streamed execution.
+func (r Results) WithoutTelemetry() Results {
+	r.Telemetry = nil
+	return r
 }
 
 // IPC returns committed instructions per cycle.
@@ -220,6 +238,10 @@ func (r *Results) Merge(other *Results) {
 	r.PrefetchesIssued += other.PrefetchesIssued
 	r.PrefetchesUseful += other.PrefetchesUseful
 	r.BusConflicts += other.BusConflicts
+	// Telemetry is per-run (mode-dependent high-water marks don't sum
+	// meaningfully across configs); aggregation happens at the sweep level
+	// via telemetry.Snapshot.Merge instead.
+	r.Telemetry = nil
 }
 
 // Speedup returns the relative speedup of new over old in terms of IPC:

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+)
+
+// MetricsMux returns an http.ServeMux exposing the debug surface for reg:
+// /metrics (Prometheus text), /debug/pprof/* (profiles), and /debug/vars
+// (expvar JSON). Handlers are wired explicitly rather than through
+// http.DefaultServeMux so the store server's object routes can share the
+// mux without inheriting global registrations.
+func MetricsMux(reg *Registry) *http.ServeMux {
+	reg.GaugeFunc("clgp_process_goroutines",
+		"Live goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("clgp_process_gomaxprocs",
+		"Scheduler processor limit.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	reg.GaugeFunc("clgp_process_heap_alloc_bytes",
+		"Live heap size.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// StartMetricsServer listens on addr (which may use port 0), serves
+// MetricsMux(reg) in a background goroutine, and returns the bound address
+// plus a stop function. When addrFile is non-empty the bound address is
+// also written there, so scripts can poll for it (the same contract as
+// `store serve -addr-file`).
+func StartMetricsServer(addr, addrFile string, reg *Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return "", nil, fmt.Errorf("telemetry: write addr file: %w", err)
+		}
+	}
+	srv := &http.Server{Handler: MetricsMux(reg)}
+	go srv.Serve(ln)
+	return bound, func() { srv.Close() }, nil
+}
