@@ -32,6 +32,8 @@ func cmdWorker(args []string) error {
 		"progress heartbeat period written through the store (0 disables)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the shard runs (e.g. 127.0.0.1:0)")
 	metricsAddrFile := fs.String("metrics-addr-file", "", "write the bound -metrics-addr listen address to this file")
+	spanParent := fs.String("span-parent", "", "parent span id for this worker's phase spans (threaded by the orchestrator)")
+	runtimeTrace := runtimeTraceFlag(fs)
 	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,6 +49,15 @@ func cmdWorker(args []string) error {
 	if loc == "" || *shard < 0 {
 		return fmt.Errorf("worker needs -store (or -dir) and -shard")
 	}
+	stopTrace, err := startRuntimeTrace(*runtimeTrace)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if terr := stopTrace(); terr != nil {
+			fmt.Fprintf(os.Stderr, "clgpsim: runtime trace: %v\n", terr)
+		}
+	}()
 	if *metricsAddr != "" {
 		bound, stopMetrics, err := telemetry.StartMetricsServer(*metricsAddr, *metricsAddrFile, telemetry.Default)
 		if err != nil {
@@ -69,18 +80,24 @@ func cmdWorker(args []string) error {
 		hb = dispatch.StartHeartbeats(st, m.Shards[*shard], host, *heartbeat, lg)
 	}
 	start := time.Now()
-	recs, err := dispatch.RunShardObserved(st, m, *shard, *workers, func(done, total int) {
+	spanRec := telemetry.NewSpanRecorder(m.Shards[*shard].Name)
+	recs, err := dispatch.RunShardSpans(st, m, *shard, *workers, func(done, total int) {
 		hb.JobDone()
-	})
+	}, spanRec, *spanParent)
 	if err != nil {
 		hb.Stop()
 		return err
 	}
+	commit := spanRec.Begin(telemetry.SpanPhase, "commit", m.Shards[*shard].Name, *spanParent)
 	if err := st.WriteShardResults(m.Shards[*shard], recs); err != nil {
 		hb.Stop()
 		return err
 	}
+	commit.End()
 	hb.Stop()
+	// Spans are advisory: committed best-effort after the results, so a
+	// trace hiccup can never fail a finished shard.
+	dispatch.WriteRecordedSpans(st, m.Shards[*shard].Name, spanRec, lg)
 	failed := 0
 	for _, rec := range recs {
 		if rec.Err != "" {
@@ -122,6 +139,9 @@ func cmdFigures(args []string) error {
 	progress := fs.Bool("progress", false, "report per-shard sweep progress (state, jobs, ETA) from the store and exit without running anything")
 	heartbeat := fs.Duration("heartbeat", 0, "in-process shard heartbeat period (0 = default, negative disables)")
 	stallAfter := fs.Duration("stall-after", 0, "flag a shard stalled when its heartbeats are older than this (0 = auto, negative disables)")
+	traceOut := fs.String("trace-out", "", "export the sweep's span trace as Chrome-trace-event JSON to this path (open in Perfetto)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the sweep runs (e.g. 127.0.0.1:0)")
+	metricsAddrFile := fs.String("metrics-addr-file", "", "write the bound -metrics-addr listen address to this file")
 	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,7 +155,22 @@ func cmdFigures(args []string) error {
 		if loc == "" {
 			loc = *dir
 		}
+		// -progress -trace-out exports whatever spans the store holds so
+		// far, without running anything — a live look at a sweep underway.
+		if *traceOut != "" {
+			if err := exportSweepTrace(loc, *traceOut); err != nil {
+				return err
+			}
+		}
 		return reportProgress(loc, *stallAfter)
+	}
+	if *metricsAddr != "" {
+		bound, stopMetrics, err := telemetry.StartMetricsServer(*metricsAddr, *metricsAddrFile, telemetry.Default)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		lg.Info("figures metrics server up", "addr", bound)
 	}
 
 	// Reject an off-grid figure size before the sweep runs, not after.
@@ -282,6 +317,42 @@ func cmdFigures(args []string) error {
 			fmt.Printf("wrote %s\n", *benchJSON)
 		}
 	}
+
+	if *traceOut != "" {
+		loc := *storeFlag
+		if loc == "" {
+			loc = *dir
+		}
+		if err := exportSweepTrace(loc, *traceOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportSweepTrace stitches a sweep's persisted spans (the orchestrator's
+// plus every worker's) into one Chrome-trace-event JSON file.
+func exportSweepTrace(loc, path string) error {
+	st, err := dispatch.OpenStore(loc)
+	if err != nil {
+		return err
+	}
+	m, err := st.LoadManifest()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dispatch.ExportChromeTrace(f, st, m); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (open in Perfetto or chrome://tracing)\n", path)
 	return nil
 }
 
@@ -487,6 +558,32 @@ func emitFigures(outDir string, recs []dispatch.RunRecord, techs []cacti.Tech, f
 			return nil, err
 		}
 		if err := write("figure8_prefetch_sources_"+tag, fig8); err != nil {
+			return nil, err
+		}
+
+		// Cycle breakdown: where every cycle of every grid point at the
+		// representative L1 size went — one series per (variant, leading
+		// cause) pair, as fractions of that run's total cycles. This is the
+		// causal companion to Figure 6: it says *why* a variant's IPC moved,
+		// not just that it did.
+		figCyc := &stats.SeriesSet{
+			Title: fmt.Sprintf("Cycle breakdown — leading-cause shares per benchmark @ L1=%s (%s)",
+				stats.FormatBytes(float64(figL1)), techStr),
+			XLabel: "benchmark", YLabel: "fraction of cycles",
+			Labels: append([]string{}, profiles...),
+		}
+		for _, v := range engineVariants {
+			for pi, prof := range profiles {
+				r := byKey[recKey{prof, techStr, v.engine.String(), v.l0, false, figL1}]
+				if r == nil {
+					continue
+				}
+				for c := stats.CycleCause(0); c < stats.NumCycleCauses; c++ {
+					figCyc.Ensure(v.label+"/"+c.String()).Add(float64(pi), r.CycleAccounts.Fraction(c))
+				}
+			}
+		}
+		if err := write("cycle_breakdown_"+tag, figCyc); err != nil {
 			return nil, err
 		}
 	}

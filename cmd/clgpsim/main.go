@@ -4,11 +4,11 @@
 //
 // Usage:
 //
-//	clgpsim run     [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0] [-tracefile F -window N] [-no-skip] [-cpuprofile F] [-memprofile F]
-//	clgpsim sweep   [-profile gcc] [-insts 200000] [-tech 90] [-workers 0] [-json BENCH_sweep.json] [-tracefile F -window N] [-store URL] [-cpuprofile F] [-memprofile F]
+//	clgpsim run     [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0] [-tracefile F -window N] [-no-skip] [-cpuprofile F] [-memprofile F] [-runtime-trace F]
+//	clgpsim sweep   [-profile gcc] [-insts 200000] [-tech 90] [-workers 0] [-json BENCH_sweep.json] [-tracefile F -window N] [-store URL] [-cpuprofile F] [-memprofile F] [-metrics-addr A [-metrics-addr-file F]]
 //	clgpsim bench   [-profile gcc] [-insts 100000] [-workers 0] [-json BENCH_clgpsim.json] [-grid=t|f] [-core-json BENCH_core.json] [-core-insts 200000] [-gate BASELINE.json] [-max-regress 0.10]
-//	clgpsim figures [-insts 200000] [-techs 90,45] [-profiles ...] [-dir clgp-figures] [-shards 0] [-exec] [-resume] [-store URL] [-ssh h1,h2] [-retries 1] [-progress] [-stall-after D]
-//	clgpsim worker  -store LOC -shard N [-workers 0] [-heartbeat 2s] [-metrics-addr A [-metrics-addr-file F]]
+//	clgpsim figures [-insts 200000] [-techs 90,45] [-profiles ...] [-dir clgp-figures] [-shards 0] [-exec] [-resume] [-store URL] [-ssh h1,h2] [-retries 1] [-progress] [-stall-after D] [-trace-out F] [-metrics-addr A [-metrics-addr-file F]]
+//	clgpsim worker  -store LOC -shard N [-workers 0] [-heartbeat 2s] [-metrics-addr A [-metrics-addr-file F]] [-span-parent ID] [-runtime-trace F]
 //	clgpsim store   serve [-dir clgp-store] [-addr 127.0.0.1:8420] [-addr-file F]
 //	clgpsim trace   record|info|slice|bench ...
 //
@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -129,6 +130,34 @@ func profileFlags(fs *flag.FlagSet) (cpu, mem *string) {
 	return cpu, mem
 }
 
+// runtimeTraceFlag registers the shared -runtime-trace flag: an opt-in
+// flight recorder for scheduler-level diagnosis (GC pauses, goroutine
+// stalls) that pprof sampling cannot see.
+func runtimeTraceFlag(fs *flag.FlagSet) *string {
+	return fs.String("runtime-trace", "", "write a Go runtime execution trace (view with go tool trace) to this path")
+}
+
+// startRuntimeTrace starts the Go runtime execution tracer writing to path;
+// the returned stop finishes and closes the trace. An empty path is a
+// no-op.
+func startRuntimeTrace(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := rtrace.Start(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("starting runtime trace: %w", err)
+	}
+	return func() error {
+		rtrace.Stop()
+		return f.Close()
+	}, nil
+}
+
 // loadWorkload generates the named synthetic benchmark.
 func loadWorkload(profile string, insts int, seed int64) (*workload.Workload, error) {
 	p, err := workload.ProfileByName(profile)
@@ -153,6 +182,7 @@ func cmdRun(args []string) error {
 	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
 	noSkip := fs.Bool("no-skip", false, "tick every cycle instead of fast-forwarding over event horizons (bit-identical results, reference mode)")
 	cpuProf, memProf := profileFlags(fs)
+	runtimeTrace := runtimeTraceFlag(fs)
 	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -168,6 +198,15 @@ func cmdRun(args []string) error {
 	defer func() {
 		if perr := stopProf(); perr != nil {
 			fmt.Fprintf(os.Stderr, "clgpsim: profile: %v\n", perr)
+		}
+	}()
+	stopTrace, err := startRuntimeTrace(*runtimeTrace)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if terr := stopTrace(); terr != nil {
+			fmt.Fprintf(os.Stderr, "clgpsim: runtime trace: %v\n", terr)
 		}
 	}()
 
@@ -247,13 +286,24 @@ func cmdSweep(args []string) error {
 	traceFile := fs.String("tracefile", "", "stream every job's trace from this recorded container (its header supplies the workload, overriding -profile/-insts/-seed)")
 	storeFlag := fs.String("store", "", "fetch the streamed trace container from this object store (http(s) URL) by (-profile, -seed) fingerprint")
 	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the sweep runs (e.g. 127.0.0.1:0)")
+	metricsAddrFile := fs.String("metrics-addr-file", "", "write the bound -metrics-addr listen address to this file")
 	cpuProf, memProf := profileFlags(fs)
 	logSetup := logFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if _, err := logSetup(); err != nil {
+	lg, err := logSetup()
+	if err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		bound, stopMetrics, err := telemetry.StartMetricsServer(*metricsAddr, *metricsAddrFile, telemetry.Default)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		lg.Info("sweep metrics server up", "addr", bound)
 	}
 
 	stopProf, err := startProfiles(*cpuProf, *memProf)

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"clgp/internal/cacti"
+	"clgp/internal/stats"
+)
+
+// TestCycleAccountConservation is the hard invariant of cycle accounting:
+// for every engine kind, in both clock modes, the cause buckets sum exactly
+// to the simulated cycle count — not just at the end of the run but at every
+// Step boundary, so a mis-charged fast-forward span cannot hide behind a
+// compensating error later. The skip and no-skip accounts must also be
+// bit-identical (the equivalence tests enforce the same via Results, but the
+// explicit comparison localises a failure to the accounting layer).
+func TestCycleAccountConservation(t *testing.T) {
+	const numInsts = 25_000
+	profiles := []string{"gzip", "mcf"}
+	engines := []EngineKind{EngineNone, EngineNextN, EngineFDP, EngineCLGP}
+	for pi, prof := range profiles {
+		w := skipTestWorkload(t, prof, numInsts, int64(67+pi))
+		for _, ek := range engines {
+			t.Run(prof+"/"+ek.String(), func(t *testing.T) {
+				cfg := Config{
+					Tech: cacti.Tech90, L1ISize: 2 << 10, Engine: ek,
+					UseL0: ek == EngineCLGP, PreBufferEntries: 8,
+				}
+				var accounts [2]stats.CycleAccounts
+				var cycles [2]uint64
+				for mode, noSkip := range []bool{false, true} {
+					c := cfg
+					c.NoSkip = noSkip
+					eng, err := NewEngine(c, w.Dict, w.Trace)
+					if err != nil {
+						t.Fatalf("engine: %v", err)
+					}
+					steps := 0
+					for eng.Step() {
+						steps++
+						// Check conservation at step boundaries, cheaply
+						// often enough to straddle fast-forward jumps.
+						if steps%64 == 0 {
+							if got := eng.CycleAccounts(); got.Total() != eng.Cycles() {
+								t.Fatalf("noSkip=%v: mid-run accounts sum %d != %d cycles at step %d (%+v)",
+									noSkip, got.Total(), eng.Cycles(), steps, got)
+							}
+						}
+					}
+					if err := eng.Err(); err != nil {
+						t.Fatalf("noSkip=%v: %v", noSkip, err)
+					}
+					accounts[mode] = eng.CycleAccounts()
+					cycles[mode] = eng.Cycles()
+					if accounts[mode].Total() != cycles[mode] {
+						t.Errorf("noSkip=%v: final accounts sum %d != %d cycles (%+v)",
+							noSkip, accounts[mode].Total(), cycles[mode], accounts[mode])
+					}
+					r := eng.Results()
+					if r.CycleAccounts != accounts[mode] {
+						t.Errorf("noSkip=%v: Results.CycleAccounts %+v != engine accounts %+v",
+							noSkip, r.CycleAccounts, accounts[mode])
+					}
+					if r.CycleAccounts.Total() != r.Cycles {
+						t.Errorf("noSkip=%v: Results accounts sum %d != Results.Cycles %d",
+							noSkip, r.CycleAccounts.Total(), r.Cycles)
+					}
+				}
+				if accounts[0] != accounts[1] {
+					t.Errorf("skip/no-skip accounts diverge:\nskip:    %+v\nno-skip: %+v",
+						accounts[0], accounts[1])
+				}
+				// The breakdown must be a breakdown: commit cycles charged,
+				// and at least one stall bucket nonzero on these IPC<width
+				// workloads.
+				if accounts[0][stats.CycleCommit] == 0 {
+					t.Error("no cycles charged to commit")
+				}
+				stall := accounts[0].Total() - accounts[0][stats.CycleCommit]
+				if stall == 0 {
+					t.Error("no cycles charged to any stall cause")
+				}
+				t.Logf("%s/%s: %s", prof, ek, stats.FormatCycleAccounts(accounts[0]))
+			})
+		}
+	}
+}
+
+// TestCycleAccountsMergeAndFormat covers the stats-side arithmetic: Merge
+// sums bucket-wise (as sweep aggregation relies on), Total/Fraction agree,
+// and the formatter skips empty buckets.
+func TestCycleAccountsMergeAndFormat(t *testing.T) {
+	var a, b stats.CycleAccounts
+	a.Add(stats.CycleCommit, 10)
+	a.Add(stats.CycleMemory, 30)
+	b.Add(stats.CycleCommit, 5)
+	b.Add(stats.CycleWrongPath, 5)
+	a.Merge(b)
+	if a.Total() != 50 {
+		t.Fatalf("merged total %d, want 50", a.Total())
+	}
+	if got := a.Fraction(stats.CycleCommit); got != 0.3 {
+		t.Errorf("commit fraction %v, want 0.3", got)
+	}
+	var ra, rb stats.Results
+	ra.CycleAccounts.Add(stats.CycleBus, 7)
+	rb.CycleAccounts.Add(stats.CycleBus, 11)
+	rb.CycleAccounts.Add(stats.CycleRUUFull, 2)
+	ra.Merge(&rb)
+	if ra.CycleAccounts[stats.CycleBus] != 18 || ra.CycleAccounts[stats.CycleRUUFull] != 2 {
+		t.Errorf("Results.Merge did not sum cycle accounts: %+v", ra.CycleAccounts)
+	}
+	s := stats.FormatCycleAccounts(a)
+	for _, want := range []string{"commit", "memory", "wrong_path"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted breakdown %q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "ruu_full") {
+		t.Errorf("formatted breakdown %q includes an empty bucket", s)
+	}
+	var zero stats.CycleAccounts
+	if got := stats.FormatCycleAccounts(zero); got != "(none)" {
+		t.Errorf("empty breakdown rendered %q", got)
+	}
+}

@@ -130,6 +130,14 @@ type Engine struct {
 	mispredicts      uint64
 	detectedMisp     uint64
 	fetchSources     stats.Distribution
+
+	// accounts charges every simulated cycle to exactly one leading cause
+	// (see stats.CycleCause). Ticked cycles are charged individually after
+	// the stage ticks; fast-forwarded spans are charged in bulk to the cause
+	// bound to the binding horizon. Single-writer, updated in the hot loop
+	// without atomics; the conservation invariant accounts.Total() == cycle
+	// holds at every Step boundary and is identical across clock modes.
+	accounts stats.CycleAccounts
 }
 
 // blockMeta is the simulator-side bookkeeping for one fetch block.
@@ -291,6 +299,11 @@ type windowStats interface {
 	SourceReads() int64
 }
 
+// CycleAccounts returns the cycle-accounting buckets so far. The buckets sum
+// to Cycles() at every Step boundary (the conservation invariant) and are
+// bit-identical across clock modes.
+func (e *Engine) CycleAccounts() stats.CycleAccounts { return e.accounts }
+
 // Committed returns the number of committed instructions so far.
 func (e *Engine) Committed() uint64 { return e.backend.Committed() }
 
@@ -361,6 +374,23 @@ func (e *Engine) Step() bool {
 	preSeqID := e.nextSeqID
 	e.predictStage(now)
 
+	// Charge the cycle just ticked to exactly one leading cause, in priority
+	// order: useful work (commit) first, then wrong-path activity, then the
+	// cause-tagged horizon walk over the same state skipToNextEvent reads.
+	// The walk runs at now (post-tick, pre-increment): over a provably idle
+	// span every horizon is absolute and beyond the span, so the per-cycle
+	// charge of a no-op cycle always matches the bulk charge the skip path
+	// applies for it — skip and no-skip accounts are bit-identical.
+	switch {
+	case len(committed) > 0:
+		e.accounts[stats.CycleCommit]++
+	case resolved != nil || e.wrongPath:
+		e.accounts[stats.CycleWrongPath]++
+	default:
+		cause, _, _, _ := e.horizonWalk(now)
+		e.accounts[cause]++
+	}
+
 	e.cycle++
 	if e.lastCommitted >= e.target {
 		e.done = true
@@ -385,38 +415,45 @@ func (e *Engine) Step() bool {
 	return !e.done
 }
 
-// skipToNextEvent fast-forwards the clock to the earliest cycle at which any
-// component has work, when the machine is provably idle until then. Each
-// check either finds same-cycle work (return without skipping — the ordinary
-// per-cycle path) or contributes a future horizon; the jump target is the
-// minimum over all of them, clamped to maxCycles so a fully wedged machine
-// reports the same no-forward-progress error at the same cycle as the
-// per-cycle path.
-func (e *Engine) skipToNextEvent() {
-	now := e.cycle
+// horizonWalk is the machine-wide event-horizon walk, shared by cycle
+// accounting (the cause of a ticked idle cycle) and the fast-forward path
+// (the skip target and the bulk-attribution cause of the span). Each check
+// either finds same-cycle work — sameCycle true, the returned cause names
+// the component with work at now — or contributes a future horizon; on an
+// idle machine, horizon is the minimum over all of them and cause names the
+// component whose horizon is binding (ties go to the earlier check, in the
+// fixed walk order below). Keeping one walk for both consumers is what makes
+// skip and no-skip accounts bit-identical: they cannot diverge on which
+// component owns a stall.
+func (e *Engine) horizonWalk(now uint64) (cause stats.CycleCause, horizon uint64, sameCycle, produceWrongPath bool) {
 	// Bus arbitration and the prediction stage are the cheapest and most
 	// frequently live stages: test them first so busy phases exit in O(1).
 	// The hierarchy's horizon is binary: now while anything is queued for a
 	// grant, clock.None otherwise.
 	if e.mem.NextEvent(now) <= now {
-		return
+		return stats.CycleBus, now, true, false
 	}
-	horizon := clock.None
-	produceWrongPath := false
+	// Until any check below binds a nearer horizon, an idle machine with no
+	// pending event is a stalled front end (e.g. trace exhausted, queue
+	// wedged): the frontend bucket is the default owner.
+	cause = stats.CycleFrontend
+	horizon = clock.None
 	if e.wrongPath || e.predCursor < e.trLen {
 		if !e.eng.QueueFull() {
 			if now >= e.predStallUntil {
 				if !e.wrongPath {
 					// A correct-path block consumes trace records and drives
 					// the whole machine: real same-cycle work.
-					return
+					return stats.CycleFrontend, now, true, false
 				}
 				// Wrong-path production is decoupled from the trace: if every
 				// other component is idle the span is handled by the
-				// production fast path below, which enqueues the blocks at
-				// exactly their per-cycle times without full ticks.
+				// production fast path, which enqueues the blocks at exactly
+				// their per-cycle times without full ticks.
 				produceWrongPath = true
 			} else {
+				// Redirect penalty after a resolved misprediction: a branch-
+				// predictor stall, charged to the frontend bucket.
 				horizon = e.predStallUntil
 			}
 		}
@@ -424,41 +461,75 @@ func (e *Engine) skipToNextEvent() {
 		// fetch horizon below already covers.
 	}
 	if e.dqN > 0 && e.backend.FreeSlots() > 0 {
-		return // dispatch moves instructions this cycle
+		// Dispatch moves instructions this cycle: front-end delivery work.
+		return stats.CycleFrontend, now, true, false
 	}
 	if e.fetchActive {
 		var t uint64
+		c := stats.CycleMemory
 		if e.fetchReq == nil {
+			// Pre-buffer hit latency: the line is on hand, the wait is the
+			// front end's own access pipeline, not the memory system.
 			t = e.fetchReadyAt
+			c = stats.CycleFrontend
 		} else {
 			t = e.fetchReq.NextEvent(now)
 		}
 		if t <= now {
-			return
+			return c, now, true, false
 		}
-		horizon = clock.Min(horizon, t)
+		if t < horizon {
+			horizon, cause = t, c
+		}
 	} else if dispatchQueueCap-e.dqN >= fetchLineHeadroom {
 		if _, ok := e.eng.NextFetch(); ok {
-			return // a line fetch starts this cycle
+			// A line fetch starts this cycle.
+			return stats.CycleFrontend, now, true, false
 		}
 	}
 	for _, r := range e.drain {
 		t := r.NextEvent(now)
 		if t <= now {
-			return
+			return stats.CycleMemory, now, true, false
 		}
-		horizon = clock.Min(horizon, t)
+		if t < horizon {
+			horizon, cause = t, stats.CycleMemory
+		}
 	}
-	t := e.eng.NextEvent(now)
-	if t <= now {
+	if t := e.eng.NextEvent(now); t <= now {
+		return stats.CyclePreBuffer, now, true, false
+	} else if t < horizon {
+		horizon, cause = t, stats.CyclePreBuffer
+	}
+	// The back-end horizon is RUU-full back-pressure when the window has no
+	// free slot, otherwise an in-flight load the (empty-handed) front end is
+	// waiting out.
+	bc := stats.CycleMemory
+	if e.backend.FreeSlots() == 0 {
+		bc = stats.CycleRUUFull
+	}
+	if t := e.backend.NextEvent(now); t <= now {
+		return bc, now, true, false
+	} else if t < horizon {
+		horizon, cause = t, bc
+	}
+	return cause, horizon, false, produceWrongPath
+}
+
+// skipToNextEvent fast-forwards the clock to the earliest cycle at which any
+// component has work, when the machine is provably idle until then
+// (horizonWalk found no same-cycle work). The jump target is the minimum
+// horizon clamped to maxCycles, so a fully wedged machine reports the same
+// no-forward-progress error at the same cycle as the per-cycle path. The
+// skipped span is charged in bulk to the binding horizon's cause — or to the
+// wrong-path bucket while the front end is on a mispredicted path, matching
+// the per-cycle charge of those cycles.
+func (e *Engine) skipToNextEvent() {
+	now := e.cycle
+	cause, horizon, sameCycle, produceWrongPath := e.horizonWalk(now)
+	if sameCycle {
 		return
 	}
-	horizon = clock.Min(horizon, t)
-	t = e.backend.NextEvent(now)
-	if t <= now {
-		return
-	}
-	horizon = clock.Min(horizon, t)
 	// A horizon of clock.None means nothing will ever happen again: jump to
 	// the wedge detector, exactly where the per-cycle path would spin to.
 	target := clock.Min(horizon, e.maxCycles)
@@ -467,6 +538,10 @@ func (e *Engine) skipToNextEvent() {
 		return
 	}
 	if target > now {
+		if e.wrongPath {
+			cause = stats.CycleWrongPath
+		}
+		e.accounts[cause] += target - now
 		e.skipped += target - now
 		e.cycle = target
 		e.ffJumps++
@@ -501,7 +576,9 @@ func (e *Engine) produceWrongPathUntil(limit uint64) {
 		}
 	}
 	// These cycles were ticked (in degenerate, production-only form), not
-	// skipped; e.skipped deliberately excludes them.
+	// skipped; e.skipped deliberately excludes them. They are wrong-path
+	// cycles by construction, matching the per-cycle charge.
+	e.accounts[stats.CycleWrongPath] += now - e.cycle
 	e.wpProduced += now - e.cycle
 	e.cycle = now
 }
@@ -527,6 +604,7 @@ func (e *Engine) Results() *stats.Results {
 		FetchSources:     e.fetchSources,
 		Branches:         e.branches,
 		Mispredictions:   e.mispredicts,
+		CycleAccounts:    e.accounts,
 	}
 	e.mem.Stats(r)
 	e.eng.CollectStats(r)

@@ -408,7 +408,7 @@ func TestChildProcessMode(t *testing.T) {
 	}
 	o := &Orchestrator{
 		Dir: dir, Workers: 1, Parallel: 2, Mode: ModeChild,
-		WorkerArgv: func(dir string, shard, workers int) []string {
+		WorkerArgv: func(dir string, shard, workers int, spanParent string) []string {
 			// Positional args after "--" reach the helper via os.Args.
 			return []string{exe, "-test.run", "TestHelperWorkerProcess", "--",
 				dir, strconv.Itoa(shard), strconv.Itoa(workers)}
@@ -495,7 +495,7 @@ func TestMergeDirOnFinishedSweep(t *testing.T) {
 }
 
 func TestDefaultWorkerArgvShape(t *testing.T) {
-	argv := DefaultWorkerArgv("/tmp/sweep", 3, 4)
+	argv := DefaultWorkerArgv("/tmp/sweep", 3, 4, "")
 	if len(argv) != 8 || argv[1] != "worker" || argv[3] != "/tmp/sweep" || argv[5] != "3" || argv[7] != "4" {
 		t.Errorf("unexpected worker argv %v", argv)
 	}

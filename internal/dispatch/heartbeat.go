@@ -37,6 +37,12 @@ const (
 	// staleBeats is how many missed intervals mark a shard stalled when no
 	// explicit stall-after duration is configured.
 	staleBeats = 4
+	// KeepBeats bounds the committed heartbeat history: the first beat
+	// (the lease start, anchoring ETA estimation) plus the last KeepBeats
+	// beats. Without the bound every beat would rewrite an ever-growing
+	// object — O(n²) bytes over a long shard. Dropped beats are marked by
+	// the Dropped field on the oldest retained ring beat.
+	KeepBeats = 64
 )
 
 // Heartbeat is one liveness/progress beat of a worker executing a shard.
@@ -59,6 +65,11 @@ type Heartbeat struct {
 	JobsTotal int `json:"jobs_total"`
 	// Final marks the beat written as the worker finishes the shard.
 	Final bool `json:"final,omitempty"`
+	// Dropped is the truncation marker of the bounded history: how many
+	// beats between the first beat and this one were omitted to keep the
+	// object small. Seq still counts every beat emitted, so a Seq gap
+	// after the first beat is expected exactly when Dropped is set.
+	Dropped int `json:"dropped,omitempty"`
 }
 
 // Time returns the beat timestamp.
@@ -109,9 +120,10 @@ type HeartbeatWriter struct {
 	interval time.Duration
 	log      *slog.Logger
 
-	mu    sync.Mutex
-	beats []Heartbeat
-	next  Heartbeat
+	mu      sync.Mutex
+	beats   []Heartbeat
+	next    Heartbeat
+	dropped int
 
 	stop chan struct{}
 	done chan struct{}
@@ -166,7 +178,10 @@ func (w *HeartbeatWriter) loop() {
 	}
 }
 
-// beat appends one beat to the history and commits the whole history.
+// beat appends one beat to the bounded history and commits it whole. The
+// history keeps the first beat plus the last KeepBeats beats — constant
+// bytes per commit however long the shard runs — recording how many beats
+// were dropped on the oldest retained ring beat.
 func (w *HeartbeatWriter) beat(final bool) {
 	w.mu.Lock()
 	b := w.next
@@ -174,6 +189,14 @@ func (w *HeartbeatWriter) beat(final bool) {
 	b.Final = final
 	w.beats = append(w.beats, b)
 	w.next.Seq++
+	for len(w.beats) > KeepBeats+1 {
+		copy(w.beats[1:], w.beats[2:])
+		w.beats = w.beats[:len(w.beats)-1]
+		w.dropped++
+	}
+	if w.dropped > 0 {
+		w.beats[1].Dropped = w.dropped
+	}
 	data, err := EncodeHeartbeats(w.beats)
 	w.mu.Unlock()
 	if err != nil {
@@ -260,7 +283,10 @@ func StallThreshold(stallAfter time.Duration, intervalMillis int64) time.Duratio
 // staleBeats×interval when stallAfter is 0) reports "stalled" — the early
 // dead-worker signal the orchestrator surfaces before the retry timeout
 // fires. The function only reads the store, so it works from any machine
-// and is driven by a caller-supplied clock in tests.
+// and is driven by a caller-supplied clock in tests. Truncated histories
+// (the bounded ring's Dropped marker) report identically to full ones:
+// state, staleness and ETA derive from the first and newest beats, both of
+// which the ring always keeps.
 func SweepProgress(st Store, m *Manifest, now time.Time, stallAfter time.Duration) ([]ShardStatus, error) {
 	statuses := make([]ShardStatus, len(m.Shards))
 	for i, sp := range m.Shards {

@@ -224,7 +224,7 @@ type stallingLauncher struct {
 
 func (l *stallingLauncher) Slots() int { return 1 }
 
-func (l *stallingLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) (string, error) {
+func (l *stallingLauncher) Launch(m *Manifest, shard int, lease Lease) (string, error) {
 	const host = "stall-host"
 	// One immediate beat, then nothing: the hour-long interval guarantees
 	// the ticker never fires during the silent window.
@@ -392,5 +392,69 @@ func TestWorkerMetricsCounters(t *testing.T) {
 	after := metricValue(scrapeMetrics(t, ts.URL+"/metrics"), "clgp_dispatch_jobs_done_total")
 	if want := before + float64(len(recs)); after < want {
 		t.Errorf("clgp_dispatch_jobs_done_total = %v after shard, want >= %v", after, want)
+	}
+}
+
+// TestHeartbeatHistoryBounded drives a writer far past the ring size and
+// checks the O(n²) fix: the committed object holds at most the first beat
+// plus KeepBeats ring beats however many were emitted, the Dropped marker
+// accounts for every omitted beat, and SweepProgress derives the same
+// state/progress/ETA it would from a full history (first and newest beats
+// are both kept).
+func TestHeartbeatHistoryBounded(t *testing.T) {
+	st := NewDirStore(t.TempDir())
+	m, err := NewManifest(testGrid(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := m.Shards[0]
+	hb := StartHeartbeats(st, sp, "ring-host", time.Hour, nil)
+	const extra = 3 * KeepBeats
+	for i := 0; i < extra; i++ {
+		hb.JobDone()
+		hb.beat(false)
+	}
+	hb.Stop()
+
+	data, err := st.LoadHeartbeats(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beats, err := ParseHeartbeats(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(beats) != KeepBeats+1 {
+		t.Fatalf("committed history holds %d beats, want first + %d", len(beats), KeepBeats)
+	}
+	// total emitted = initial + extra + final
+	total := 1 + extra + 1
+	first, marker, last := beats[0], beats[1], beats[len(beats)-1]
+	if first.Seq != 0 {
+		t.Errorf("first beat seq %d, want 0 (ETA anchor must survive truncation)", first.Seq)
+	}
+	if want := total - len(beats); marker.Dropped != want {
+		t.Errorf("truncation marker Dropped = %d, want %d", marker.Dropped, want)
+	}
+	if marker.Seq != first.Seq+marker.Dropped+1 {
+		t.Errorf("seq gap %d..%d inconsistent with Dropped %d", first.Seq, marker.Seq, marker.Dropped)
+	}
+	if last.Seq != total-1 || !last.Final {
+		t.Errorf("last beat seq %d final %v, want %d true", last.Seq, last.Final, total-1)
+	}
+	if last.JobsDone != extra {
+		t.Errorf("final beat reports %d jobs, want %d", last.JobsDone, extra)
+	}
+
+	// The progress report is unaffected by truncation: running state comes
+	// from the newest beat, ETA from the (kept) first beat's timestamp.
+	now := last.Time().Add(time.Millisecond)
+	statuses, err := SweepProgress(st, m, now, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := statuses[0]
+	if s.JobsDone != extra || s.Host != "ring-host" {
+		t.Errorf("progress row %+v lost beat data after truncation", s)
 	}
 }

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"strconv"
 	"time"
+
+	"clgp/internal/telemetry"
 )
 
 // Launcher is how the orchestrator turns a leased shard into running work.
@@ -21,38 +23,62 @@ type Launcher interface {
 	// Slots is the number of shards the launcher can execute concurrently;
 	// the orchestrator runs at most this many leases at once.
 	Slots() int
-	// Launch executes shard id of the manifest to completion. exclude names
-	// hosts this lease must avoid — hosts that already failed the same
-	// shard — which multi-host launchers honour when an alternative exists;
-	// single-host launchers may ignore it (retrying locally is the only
-	// option). The returned host labels the execution slot used, feeding
-	// logs and the caller's excluded-host set.
-	Launch(m *Manifest, shard int, exclude map[string]bool) (host string, err error)
+	// Launch executes shard id of the manifest to completion under the
+	// given lease. The returned host labels the execution slot used,
+	// feeding logs and the caller's excluded-host set.
+	Launch(m *Manifest, shard int, lease Lease) (host string, err error)
+}
+
+// Lease carries the per-attempt context the orchestrator hands a launcher:
+// which hosts to avoid and where this attempt sits in the sweep's span
+// trace. The zero Lease is valid (first attempt, no exclusions, no
+// tracing), so tests and direct callers need not populate it.
+type Lease struct {
+	// Attempt is the zero-based retry ordinal of this launch.
+	Attempt int
+	// Exclude names hosts this lease must avoid — hosts that already
+	// failed the same shard — which multi-host launchers honour when an
+	// alternative exists; single-host launchers may ignore it (retrying
+	// locally is the only option).
+	Exclude map[string]bool
+	// Spans receives phase spans from launchers that execute in-process;
+	// nil disables recording. Process-spawning launchers ignore it (their
+	// workers record spans themselves and commit them to the store).
+	Spans *telemetry.SpanRecorder
+	// SpanParent is the attempt span's ID, threaded to the worker (via
+	// -span-parent for spawned processes) so its phase spans parent
+	// correctly in the stitched trace.
+	SpanParent string
 }
 
 // WorkerArgv builds the `clgpsim worker` argv for any launcher that spawns
-// worker processes: `bin worker -store LOC -shard N -workers W`. It is the
-// single home of the worker flag contract — DefaultWorkerArgv and the ssh
-// launcher both build through it, so the contract cannot drift between
-// local and remote spawning.
-func WorkerArgv(bin, store string, shard, workers int) []string {
-	return []string{bin, "worker",
+// worker processes: `bin worker -store LOC -shard N -workers W`, plus
+// `-span-parent ID` when spanParent is non-empty. It is the single home of
+// the worker flag contract — DefaultWorkerArgv and the ssh launcher both
+// build through it, so the contract cannot drift between local and remote
+// spawning.
+func WorkerArgv(bin, store string, shard, workers int, spanParent string) []string {
+	argv := []string{bin, "worker",
 		"-store", store,
 		"-shard", strconv.Itoa(shard),
 		"-workers", strconv.Itoa(workers),
 	}
+	if spanParent != "" {
+		argv = append(argv, "-span-parent", spanParent)
+	}
+	return argv
 }
 
 // DefaultWorkerArgv builds the child argv used by process-spawning
 // launchers when no Argv override is set: the current executable re-exec'd
 // through the WorkerArgv contract. store is the store location in -store
 // form (a sweep directory or an http(s) base URL).
-func DefaultWorkerArgv(store string, shard, workers int) []string {
+func DefaultWorkerArgv(store string, shard, workers int, spanParent string) []string {
 	exe, err := os.Executable()
 	if err != nil {
 		exe = os.Args[0]
 	}
-	return WorkerArgv(exe, store, shard, workers)
+	return WorkerArgv(exe, store, shard, workers, spanParent)
 }
 
 // InProcessLauncher runs shards inside the calling process, one at a time,
@@ -77,20 +103,22 @@ type InProcessLauncher struct {
 func (l *InProcessLauncher) Slots() int { return 1 }
 
 // Launch implements Launcher.
-func (l *InProcessLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) (string, error) {
+func (l *InProcessLauncher) Launch(m *Manifest, shard int, lease Lease) (string, error) {
 	const host = "in-process"
 	var hb *HeartbeatWriter
 	if l.Heartbeat >= 0 {
 		hb = StartHeartbeats(l.Store, m.Shards[shard], host, l.Heartbeat, l.Logger)
 	}
-	recs, err := RunShardObserved(l.Store, m, shard, l.Workers, func(done, total int) {
+	recs, err := RunShardSpans(l.Store, m, shard, l.Workers, func(done, total int) {
 		hb.JobDone()
-	})
+	}, lease.Spans, lease.SpanParent)
 	if err != nil {
 		hb.Stop()
 		return host, err
 	}
+	commit := lease.Spans.Begin(telemetry.SpanPhase, "commit", m.Shards[shard].Name, lease.SpanParent)
 	err = l.Store.WriteShardResults(m.Shards[shard], recs)
+	commit.End()
 	hb.Stop()
 	return host, err
 }
@@ -105,7 +133,7 @@ type ChildLauncher struct {
 	Store Store
 	// Argv overrides the worker argv built for a shard (tests use it to
 	// re-exec the test binary); nil selects DefaultWorkerArgv.
-	Argv func(store string, shard, workers int) []string
+	Argv func(store string, shard, workers int, spanParent string) []string
 	// Parallel is the number of concurrently running children (<= 0 selects
 	// GOMAXPROCS).
 	Parallel int
@@ -138,13 +166,13 @@ func (l *ChildLauncher) workerPool() int {
 }
 
 // Launch implements Launcher.
-func (l *ChildLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) (string, error) {
+func (l *ChildLauncher) Launch(m *Manifest, shard int, lease Lease) (string, error) {
 	const host = "child"
 	argvFor := l.Argv
 	if argvFor == nil {
 		argvFor = DefaultWorkerArgv
 	}
-	argv := argvFor(l.Store.Location(), shard, l.workerPool())
+	argv := argvFor(l.Store.Location(), shard, l.workerPool(), lease.SpanParent)
 	cmd := exec.Command(argv[0], argv[1:]...)
 	out, err := cmd.CombinedOutput()
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"time"
 
+	"clgp/internal/stats"
 	"clgp/internal/telemetry"
 )
 
@@ -25,6 +26,7 @@ var (
 		"Heartbeat objects committed to the store.")
 	mStallsFlagged = telemetry.Default.Counter("clgp_dispatch_stalls_flagged_total",
 		"Shards flagged stalled from stale heartbeats before their retry fired.")
+	mSimCycles = simCycleCounters()
 
 	storeLatencyBounds = []uint64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
 
@@ -48,6 +50,26 @@ var (
 	mServerBytesOut = telemetry.Default.Counter("clgp_store_server_bytes_out_total",
 		"Object bytes served by the store server.")
 )
+
+// simCycleCounters builds one clgp_sim_cycles_total series per cycle cause,
+// so a worker (or in-process orchestrator) scrape shows where the simulated
+// cycles of its completed jobs went.
+func simCycleCounters() [stats.NumCycleCauses]*telemetry.Counter {
+	var out [stats.NumCycleCauses]*telemetry.Counter
+	for c := stats.CycleCause(0); c < stats.NumCycleCauses; c++ {
+		out[c] = telemetry.Default.Counter("clgp_sim_cycles_total",
+			"Simulated cycles by leading cause, accumulated over completed jobs.",
+			telemetry.Label{Key: "cause", Value: c.String()})
+	}
+	return out
+}
+
+// countSimCycles accumulates one finished job's cycle accounts.
+func countSimCycles(a stats.CycleAccounts) {
+	for c, n := range a {
+		mSimCycles[c].Add(n)
+	}
+}
 
 func serverReqCounter(method string) *telemetry.Counter {
 	return telemetry.Default.Counter("clgp_store_server_requests_total",

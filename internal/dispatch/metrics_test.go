@@ -1,0 +1,80 @@
+package dispatch
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"clgp/internal/telemetry"
+)
+
+// promName is the Prometheus metric-name grammar; promLabel the label-name
+// grammar (no colons). A name outside these silently breaks scraping, so
+// the registry is linted here rather than discovered in production.
+var (
+	promName  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabel = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// TestRegistryMetricNamesLint renders the default registry — linking this
+// package registers every dispatch/store/sim-cycle metric on it — and
+// checks each exposed metric and label name against the Prometheus naming
+// grammar, and that counters follow the _total convention.
+func TestRegistryMetricNamesLint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := telemetry.Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	typed := map[string]string{}
+	sampleRe := regexp.MustCompile(`^([^{ ]+)(\{([^}]*)\})? `)
+	labelRe := regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*|[^=,]+)=`)
+	seen := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Errorf("malformed TYPE line %q", line)
+				continue
+			}
+			name, kind := parts[2], parts[3]
+			typed[name] = kind
+			seen++
+			if !promName.MatchString(name) {
+				t.Errorf("metric name %q violates the Prometheus grammar", name)
+			}
+			if kind == "counter" && !strings.HasSuffix(name, "_total") {
+				t.Errorf("counter %q does not end in _total", name)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparseable sample line %q", line)
+			continue
+		}
+		if !promName.MatchString(m[1]) {
+			t.Errorf("sample name %q violates the Prometheus grammar", m[1])
+		}
+		for _, lm := range labelRe.FindAllStringSubmatch(m[3], -1) {
+			if !promLabel.MatchString(lm[1]) {
+				t.Errorf("label name %q in %q violates the Prometheus grammar", lm[1], line)
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("default registry rendered no metric families — lint checked nothing")
+	}
+	// The metrics this PR adds must actually be registered.
+	for _, want := range []string{"clgp_sim_cycles_total", "clgp_dispatch_jobs_done_total"} {
+		if _, ok := typed[want]; !ok {
+			t.Errorf("expected %s in the default registry; have %d families", want, seen)
+		}
+	}
+}

@@ -39,6 +39,7 @@ const (
 	shardKeyPrefix     = ShardsDir + "/"
 	traceKeyPrefix     = "traces/"
 	heartbeatKeyPrefix = HeartbeatsDir + "/"
+	spanKeyPrefix      = SpansDir + "/"
 )
 
 // shardKey returns the object key of a shard's result JSONL.
@@ -46,6 +47,9 @@ func shardKey(sp ShardPlan) string { return shardKeyPrefix + sp.Name + ".jsonl" 
 
 // heartbeatKey returns the object key of a shard's heartbeat JSONL.
 func heartbeatKey(sp ShardPlan) string { return heartbeatKeyPrefix + sp.Name + ".jsonl" }
+
+// spanKey returns the object key of a span JSONL written under name.
+func spanKey(name string) string { return spanKeyPrefix + name + ".jsonl" }
 
 // TraceObjectKey returns the content-addressed object key a trace container
 // is published under: its workload generation fingerprint, not its file
@@ -248,7 +252,7 @@ func (s *ObjectStore) LoadShardResults(sp ShardPlan) ([]RunRecord, error) {
 
 // ClearShards implements Store.
 func (s *ObjectStore) ClearShards() error {
-	for _, prefix := range []string{shardKeyPrefix, heartbeatKeyPrefix} {
+	for _, prefix := range []string{shardKeyPrefix, heartbeatKeyPrefix, spanKeyPrefix} {
 		keys, err := s.list(prefix)
 		if err != nil {
 			return err
@@ -271,6 +275,16 @@ func (s *ObjectStore) WriteHeartbeats(sp ShardPlan, data []byte) error {
 // LoadHeartbeats implements Store.
 func (s *ObjectStore) LoadHeartbeats(sp ShardPlan) ([]byte, error) {
 	return s.get(heartbeatKey(sp))
+}
+
+// WriteSpans implements Store.
+func (s *ObjectStore) WriteSpans(name string, data []byte) error {
+	return s.put(spanKey(name), data)
+}
+
+// LoadSpans implements Store.
+func (s *ObjectStore) LoadSpans(name string) ([]byte, error) {
+	return s.get(spanKey(name))
 }
 
 func (s *ObjectStore) cacheDir() string {

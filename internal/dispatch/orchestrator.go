@@ -62,7 +62,7 @@ type Orchestrator struct {
 	// WorkerArgv overrides the child argv built for a shard (tests use it
 	// to re-exec the test binary); nil selects DefaultWorkerArgv. Its first
 	// argument is the store location (the sweep directory for a DirStore).
-	WorkerArgv func(store string, shard, workers int) []string
+	WorkerArgv func(store string, shard, workers int, spanParent string) []string
 	// Store overrides the checkpoint backend; nil selects NewDirStore(Dir).
 	Store Store
 	// Launcher overrides shard execution; nil selects a launcher from Mode.
@@ -87,6 +87,12 @@ type Orchestrator struct {
 	// fires before the retry timeout. 0 selects 3×DefaultHeartbeatInterval;
 	// negative disables stall monitoring.
 	StallAfter time.Duration
+
+	// spans records this run's sweep/shard/attempt spans; Run creates it
+	// and commits it to the store under SweepSpansName.
+	spans *telemetry.SpanRecorder
+	// sweepSpanID parents the shard spans under the run's root span.
+	sweepSpanID string
 }
 
 // Outcome reports one orchestrator run.
@@ -212,6 +218,17 @@ func (o *Orchestrator) Run(specs []JobSpec, nShards int, resume bool) (*Outcome,
 		}
 	}
 	start := time.Now()
+
+	// The sweep span wraps everything from planning through merge; it and
+	// the shard/attempt spans below it are committed to the store so
+	// `clgpsim figures -trace-out` can stitch the full execution trace.
+	o.spans = telemetry.NewSpanRecorder(SweepSpansName)
+	sweep := o.spans.Begin(telemetry.SpanSweep, "sweep", SweepSpansName, "")
+	o.sweepSpanID = sweep.ID()
+	defer func() {
+		sweep.End()
+		WriteRecordedSpans(st, SweepSpansName, o.spans, o.log())
+	}()
 
 	m, err := o.prepare(st, specs, nShards, resume)
 	if err != nil {
@@ -447,6 +464,8 @@ func (o *Orchestrator) runShard(st Store, ln Launcher, m *Manifest, id int) (ret
 	sp := m.Shards[id]
 	lg := o.log().With("shard", sp.Name)
 	policy := o.Retry.withDefaults()
+	shardSpan := o.spans.Begin(telemetry.SpanShard, sp.Name, sp.Name, o.sweepSpanID)
+	defer shardSpan.End()
 	exclude := make(map[string]bool)
 	excludedList := func() []string {
 		hosts := make([]string, 0, len(exclude))
@@ -471,7 +490,12 @@ func (o *Orchestrator) runShard(st Store, ln Launcher, m *Manifest, id int) (ret
 		}
 		mLeases.Inc()
 		start := time.Now()
-		host, err := ln.Launch(m, id, exclude)
+		attemptSpan := o.spans.Begin(telemetry.SpanAttempt,
+			fmt.Sprintf("%s#%d", sp.Name, attempt+1), sp.Name, shardSpan.ID())
+		host, err := ln.Launch(m, id, Lease{
+			Attempt: attempt, Exclude: exclude,
+			Spans: o.spans, SpanParent: attemptSpan.ID(),
+		})
 		if err == nil {
 			// Commit, not exit status, is the completion signal. A failed
 			// existence check is a launch failure too — retryable, never
@@ -483,6 +507,7 @@ func (o *Orchestrator) runShard(st Store, ln Launcher, m *Manifest, id int) (ret
 				err = fmt.Errorf("dispatch: worker for %s (%s) exited cleanly without committing its results", sp.Name, host)
 			}
 		}
+		attemptSpan.End()
 		if err == nil {
 			lg.Info("shard done", "host", host,
 				"wall", time.Since(start).Round(time.Millisecond),

@@ -25,7 +25,7 @@ type faultLauncher struct {
 
 func (f *faultLauncher) Slots() int { return f.inner.Slots() }
 
-func (f *faultLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) (string, error) {
+func (f *faultLauncher) Launch(m *Manifest, shard int, lease Lease) (string, error) {
 	f.mu.Lock()
 	if f.leases == nil {
 		f.leases = make(map[int]int)
@@ -35,12 +35,12 @@ func (f *faultLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) 
 	f.mu.Unlock()
 	if shard == f.target && n < f.fails {
 		host := fmt.Sprintf("dead-host-%d", n)
-		if exclude[host] {
+		if lease.Exclude[host] {
 			return host, fmt.Errorf("re-leased to an excluded host %s", host)
 		}
 		return host, fmt.Errorf("injected worker death on %s (lease %d)", host, n+1)
 	}
-	return f.inner.Launch(m, shard, exclude)
+	return f.inner.Launch(m, shard, lease)
 }
 
 // fastRetry keeps test backoffs in the microsecond range.
@@ -140,7 +140,7 @@ func TestLauncherSuccessWithoutCommitIsFailure(t *testing.T) {
 type noCommitLauncher struct{}
 
 func (l *noCommitLauncher) Slots() int { return 1 }
-func (l *noCommitLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) (string, error) {
+func (l *noCommitLauncher) Launch(m *Manifest, shard int, lease Lease) (string, error) {
 	return "liar", nil
 }
 
@@ -198,12 +198,12 @@ func TestSSHLauncherExcludesFailedHost(t *testing.T) {
 			Hosts: []string{"bad", "good"},
 			SSH:   sshFakeScript(t),
 			Store: st,
-			Argv: func(store string, shard, workers int) []string {
+			Argv: func(store string, shard, workers int, spanParent string) []string {
 				return []string{exe, "-test.run", "TestHelperWorkerProcess", "--",
 					store, strconv.Itoa(shard), strconv.Itoa(workers)}
 			},
 		},
-		Retry: fastRetry,
+		Retry:  fastRetry,
 		Logger: testLogger(t),
 	}
 	out, err := o.Run(specs, 2, false)

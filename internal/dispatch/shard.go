@@ -13,6 +13,7 @@ import (
 
 	"clgp/internal/sim"
 	"clgp/internal/stats"
+	"clgp/internal/telemetry"
 	"clgp/internal/tracefile"
 	"clgp/internal/workload"
 )
@@ -201,12 +202,21 @@ func RunShardStore(st Store, m *Manifest, id, workers int) ([]RunRecord, error) 
 // from worker-pool goroutines concurrently with each other's successor; a
 // nil hook behaves like RunShardStore.
 func RunShardObserved(st Store, m *Manifest, id, workers int, onJob func(done, total int)) ([]RunRecord, error) {
+	return RunShardSpans(st, m, id, workers, onJob, nil, "")
+}
+
+// RunShardSpans is RunShardObserved with span tracing: the fetch-trace
+// phase (workload generation and trace resolution) and the simulate phase
+// are recorded on rec, parented under spanParent, on the shard's lane. A
+// nil recorder behaves like RunShardObserved.
+func RunShardSpans(st Store, m *Manifest, id, workers int, onJob func(done, total int), rec *telemetry.SpanRecorder, spanParent string) ([]RunRecord, error) {
 	if id < 0 || id >= len(m.Shards) {
 		return nil, fmt.Errorf("dispatch: shard %d out of range (manifest has %d)", id, len(m.Shards))
 	}
 	sp := m.Shards[id]
 	cache := newWorkloadCache(st)
 	jobs := make([]sim.Job, len(sp.Specs))
+	fetch := rec.Begin(telemetry.SpanPhase, "fetch-trace", sp.Name, spanParent)
 	for i, spec := range sp.Specs {
 		w, err := cache.get(spec)
 		if err != nil {
@@ -222,6 +232,7 @@ func RunShardObserved(st Store, m *Manifest, id, workers int, onJob func(done, t
 			jobs[i].TraceFile = cache.tracePath(spec.TraceFile)
 		}
 	}
+	fetch.End()
 	// The workload cache hands every job of a workload the same *Workload
 	// and the same resolved trace path, so under m.Fused the sim layer's
 	// batch planner fuses each workload column into lockstep lanes over
@@ -232,17 +243,22 @@ func RunShardObserved(st Store, m *Manifest, id, workers int, onJob func(done, t
 	var done atomic.Int64
 	rn.OnResult = func(i int, r sim.Result) {
 		mJobsDone.Inc()
+		if r.Stats != nil {
+			countSimCycles(r.Stats.CycleAccounts)
+		}
 		n := int(done.Add(1))
 		if onJob != nil {
 			onJob(n, total)
 		}
 	}
+	simulate := rec.Begin(telemetry.SpanPhase, "simulate", sp.Name, spanParent)
 	var results []sim.Result
 	if m.Fused {
 		results = rn.RunFused(jobs)
 	} else {
 		results = rn.Run(jobs)
 	}
+	simulate.End()
 	recs := make([]RunRecord, len(results))
 	for i, res := range results {
 		recs[i] = recordFromResult(sp.Specs[i], res)
@@ -354,11 +370,11 @@ func ShardComplete(dir string, sp ShardPlan) bool {
 }
 
 // ClearShards deletes every file in the shards subdirectory (complete
-// results and leftover temporaries alike) and any stale heartbeat objects;
-// used when starting a sweep from scratch in a directory holding an earlier
-// checkpoint, possibly planned with a different shard count.
+// results and leftover temporaries alike) and any stale heartbeat and span
+// objects; used when starting a sweep from scratch in a directory holding
+// an earlier checkpoint, possibly planned with a different shard count.
 func ClearShards(dir string) error {
-	for _, sub := range []string{ShardsDir, HeartbeatsDir} {
+	for _, sub := range []string{ShardsDir, HeartbeatsDir, SpansDir} {
 		if err := clearDirFiles(filepath.Join(dir, sub)); err != nil {
 			return err
 		}

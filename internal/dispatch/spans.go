@@ -1,0 +1,75 @@
+package dispatch
+
+import (
+	"errors"
+	"io"
+	"log/slog"
+	"os"
+
+	"clgp/internal/telemetry"
+)
+
+const (
+	// SpansDir is the store subdirectory (and key prefix) span objects
+	// live under: one JSONL object per recording process.
+	SpansDir = "spans"
+	// SweepSpansName is the span-object name the orchestrator writes its
+	// own spans (sweep, shard, attempt) under; workers write theirs under
+	// their shard name.
+	SweepSpansName = "sweep"
+)
+
+// WriteRecordedSpans commits a recorder's spans to the store under name.
+// Spans are advisory, so failures are logged and swallowed: a sweep must
+// never fail because its trace could not be saved. A nil or empty recorder
+// writes nothing.
+func WriteRecordedSpans(st Store, name string, rec *telemetry.SpanRecorder, logger *slog.Logger) {
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		return
+	}
+	data, err := telemetry.EncodeSpans(spans)
+	if err == nil {
+		err = st.WriteSpans(name, data)
+	}
+	if err != nil && logger != nil {
+		logger.Warn("span write failed", "name", name, "err", err)
+	}
+}
+
+// CollectSweepSpans loads every span object of a sweep — the orchestrator's
+// plus one per shard — and returns the combined spans. Absent objects are
+// skipped (a shard may have run in-process, or a worker's best-effort write
+// may have failed); any other load or parse error is returned.
+func CollectSweepSpans(st Store, m *Manifest) ([]telemetry.Span, error) {
+	names := []string{SweepSpansName}
+	for _, sp := range m.Shards {
+		names = append(names, sp.Name)
+	}
+	var spans []telemetry.Span
+	for _, name := range names {
+		data, err := st.LoadSpans(name)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		parsed, err := telemetry.ParseSpans(data)
+		if err != nil {
+			return nil, err
+		}
+		spans = append(spans, parsed...)
+	}
+	return spans, nil
+}
+
+// ExportChromeTrace writes the sweep's combined spans to w as a
+// Chrome-trace-event JSON document (see telemetry.WriteChromeTrace).
+func ExportChromeTrace(w io.Writer, st Store, m *Manifest) error {
+	spans, err := CollectSweepSpans(st, m)
+	if err != nil {
+		return err
+	}
+	return telemetry.WriteChromeTrace(w, spans)
+}

@@ -33,7 +33,7 @@ type SSHLauncher struct {
 	Remote string
 	// Argv overrides the remote worker argv (tests use it); nil builds
 	// `<Remote> worker -store <loc> -shard N -workers W`.
-	Argv func(store string, shard, workers int) []string
+	Argv func(store string, shard, workers int, spanParent string) []string
 	// Store locates the sweep for the remote workers.
 	Store Store
 	// Workers is the sim worker-pool size per remote worker. With
@@ -125,11 +125,11 @@ func (l *SSHLauncher) Validate() error {
 }
 
 // Launch implements Launcher.
-func (l *SSHLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) (string, error) {
+func (l *SSHLauncher) Launch(m *Manifest, shard int, lease Lease) (string, error) {
 	if err := l.Validate(); err != nil {
 		return "", err
 	}
-	host := l.acquire(exclude)
+	host := l.acquire(lease.Exclude)
 	defer l.release(host)
 
 	argvFor := l.Argv
@@ -138,8 +138,8 @@ func (l *SSHLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) (s
 		if remote == "" {
 			remote = "clgpsim"
 		}
-		argvFor = func(store string, shard, workers int) []string {
-			return WorkerArgv(remote, store, shard, workers)
+		argvFor = func(store string, shard, workers int, spanParent string) []string {
+			return WorkerArgv(remote, store, shard, workers, spanParent)
 		}
 	}
 	ssh := l.SSH
@@ -147,7 +147,7 @@ func (l *SSHLauncher) Launch(m *Manifest, shard int, exclude map[string]bool) (s
 		ssh = "ssh"
 	}
 	args := append(append([]string{}, l.SSHArgs...), host)
-	args = append(args, argvFor(l.Store.Location(), shard, l.Workers)...)
+	args = append(args, argvFor(l.Store.Location(), shard, l.Workers, lease.SpanParent)...)
 	cmd := exec.Command(ssh, args...)
 	out, err := cmd.CombinedOutput()
 	if err != nil {

@@ -58,6 +58,16 @@ type Store interface {
 	// os.ErrNotExist when no worker has beaten for the shard yet.
 	LoadHeartbeats(sp ShardPlan) ([]byte, error)
 
+	// WriteSpans commits a span history (telemetry JSONL, see
+	// telemetry.EncodeSpans) atomically under name — a shard name for a
+	// worker's phase spans, SweepSpansName for the orchestrator's. Spans
+	// are advisory like heartbeats: a failed write degrades the exported
+	// trace, never the sweep.
+	WriteSpans(name string, data []byte) error
+	// LoadSpans reads a span object. The error wraps os.ErrNotExist when
+	// nothing has been recorded under name.
+	LoadSpans(name string) ([]byte, error)
+
 	// FetchTrace resolves a spec's trace-container reference to a local
 	// file path. name is the spec's TraceFile value; fingerprint is the
 	// workload generation fingerprint the consumer computed by rebuilding
@@ -146,6 +156,37 @@ func (s *DirStore) LoadHeartbeats(sp ShardPlan) ([]byte, error) {
 	data, err := os.ReadFile(heartbeatFilePath(s.Dir, sp))
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: reading heartbeats for %s: %w", sp.Name, err)
+	}
+	return data, nil
+}
+
+// spanFilePath returns the span JSONL file written under name.
+func spanFilePath(dir, name string) string {
+	return filepath.Join(dir, SpansDir, name+".jsonl")
+}
+
+// WriteSpans implements Store: temp+rename, like heartbeats.
+func (s *DirStore) WriteSpans(name string, data []byte) error {
+	final := spanFilePath(s.Dir, name)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("dispatch: creating spans directory: %w", err)
+	}
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dispatch: writing spans for %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("dispatch: committing spans for %s: %w", name, err)
+	}
+	return nil
+}
+
+// LoadSpans implements Store.
+func (s *DirStore) LoadSpans(name string) ([]byte, error) {
+	data, err := os.ReadFile(spanFilePath(s.Dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: reading spans for %s: %w", name, err)
 	}
 	return data, nil
 }

@@ -105,6 +105,19 @@ func (d *Dictionary) refreshDense() {
 	}
 }
 
+// Seal finalises the image for concurrent read-only use: the lazy dense
+// lookup table and the sorted PC index are built eagerly, so shared
+// readers (parallel engines simulating against one image) never trigger
+// a lazy rebuild mid-lookup. Workload generation seals every image it
+// returns; only a dictionary mutated by AddBlock afterwards needs
+// re-sealing before it is shared again.
+func (d *Dictionary) Seal() {
+	if d.denseStale {
+		d.refreshDense()
+	}
+	d.ensureSorted()
+}
+
 func (d *Dictionary) ensureSorted() {
 	if d.sorted {
 		return

@@ -99,6 +99,108 @@ func (d *Distribution) Merge(other Distribution) {
 	}
 }
 
+// CycleCause identifies the leading cause a simulated cycle is charged to by
+// the engine's cycle accounting. Every cycle — including spans the
+// event-horizon clock fast-forwards over — is charged to exactly one cause,
+// so the buckets of a CycleAccounts always sum to Results.Cycles.
+type CycleCause int
+
+const (
+	// CycleCommit: at least one instruction committed this cycle.
+	CycleCommit CycleCause = iota
+	// CycleFrontend: fetch or branch-predictor stall (redirect penalty,
+	// pre-buffer hit latency, block production, dispatch delivery).
+	CycleFrontend
+	// CycleRUUFull: the back-end window is full and fetch is back-pressured.
+	CycleRUUFull
+	// CycleMemory: waiting on an outstanding memory fill (demand fetch or
+	// back-end load with free window slots).
+	CycleMemory
+	// CycleBus: the bus arbiter had queued requests contending for a grant.
+	CycleBus
+	// CyclePreBuffer: waiting on the prefetch engine — an in-flight prefetch
+	// fill or a candidate blocked on prefetch-buffer pressure.
+	CyclePreBuffer
+	// CycleWrongPath: the front-end was on a mispredicted path (production,
+	// wrong-path fetch, and the resolution cycle itself).
+	CycleWrongPath
+
+	// NumCycleCauses is the number of distinct causes.
+	NumCycleCauses
+)
+
+// String returns the stable label used in figures and metrics.
+func (c CycleCause) String() string {
+	switch c {
+	case CycleCommit:
+		return "commit"
+	case CycleFrontend:
+		return "frontend"
+	case CycleRUUFull:
+		return "ruu_full"
+	case CycleMemory:
+		return "memory"
+	case CycleBus:
+		return "bus"
+	case CyclePreBuffer:
+		return "prebuffer"
+	case CycleWrongPath:
+		return "wrong_path"
+	default:
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+}
+
+// CycleAccounts charges every simulated cycle to exactly one CycleCause.
+// The conservation invariant — Total() == Results.Cycles — holds in both
+// clock modes, and skip/no-skip accounts are bit-identical (enforced by the
+// core equivalence tests).
+type CycleAccounts [NumCycleCauses]uint64
+
+// Add charges n cycles to cause c.
+func (a *CycleAccounts) Add(c CycleCause, n uint64) { a[c] += n }
+
+// Total returns the sum over all causes.
+func (a *CycleAccounts) Total() uint64 {
+	var t uint64
+	for _, v := range a {
+		t += v
+	}
+	return t
+}
+
+// Fraction returns the share (0..1) of cause c over the total; zero if empty.
+func (a *CycleAccounts) Fraction(c CycleCause) float64 {
+	t := a.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(a[c]) / float64(t)
+}
+
+// Merge adds other into a.
+func (a *CycleAccounts) Merge(other CycleAccounts) {
+	for i, v := range other {
+		a[i] += v
+	}
+}
+
+// FormatCycleAccounts renders a cycle breakdown as "commit 42.0%  memory
+// 31.5% ...", skipping empty causes.
+func FormatCycleAccounts(a CycleAccounts) string {
+	if a.Total() == 0 {
+		return "(none)"
+	}
+	var parts []string
+	for c := CycleCause(0); c < NumCycleCauses; c++ {
+		if a[c] == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", c, 100*a.Fraction(c)))
+	}
+	return strings.Join(parts, "  ")
+}
+
 // Results holds all the counters of one simulation run.
 type Results struct {
 	// Name labels the run (benchmark and configuration).
@@ -144,6 +246,12 @@ type Results struct {
 	// BusConflicts counts cycles in which a request was delayed by bus
 	// arbitration.
 	BusConflicts uint64
+
+	// CycleAccounts charges every simulated cycle to exactly one leading
+	// cause. Unlike Telemetry it is an architectural result: it is
+	// bit-identical across clock modes and trace backings (the equivalence
+	// tests compare it), sums under Merge, and survives WithoutTelemetry.
+	CycleAccounts CycleAccounts
 
 	// Telemetry carries the engine's simulator-speed and instrumentation
 	// counters (skipped cycles, fast-forward jumps, prefetch cancels,
@@ -238,6 +346,7 @@ func (r *Results) Merge(other *Results) {
 	r.PrefetchesIssued += other.PrefetchesIssued
 	r.PrefetchesUseful += other.PrefetchesUseful
 	r.BusConflicts += other.BusConflicts
+	r.CycleAccounts.Merge(other.CycleAccounts)
 	// Telemetry is per-run (mode-dependent high-water marks don't sum
 	// meaningfully across configs); aggregation happens at the sweep level
 	// via telemetry.Snapshot.Merge instead.
@@ -295,6 +404,7 @@ func (r *Results) Summary() string {
 	fmt.Fprintf(&b, "  branch mispred rate:  %.4f\n", r.BranchMispredRate())
 	fmt.Fprintf(&b, "  L1I miss rate:        %.4f\n", r.L1MissRate())
 	fmt.Fprintf(&b, "  one-cycle fetches:    %.1f%%\n", 100*r.OneCycleFetchFraction())
+	fmt.Fprintf(&b, "  cycle breakdown:      %s\n", FormatCycleAccounts(r.CycleAccounts))
 	fmt.Fprintf(&b, "  fetch sources:        %s\n", FormatDistribution(r.FetchSources))
 	fmt.Fprintf(&b, "  prefetch sources:     %s\n", FormatDistribution(r.PrefetchSources))
 	fmt.Fprintf(&b, "  prefetches issued:    %d (useful %.1f%%)\n",

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusLabelEscaping pins the label-value escaping rules of
+// the exposition format: double quotes, backslashes and newlines must be
+// escaped inside the rendered `k="v"` pair, or a hostile-looking value
+// (a Windows path, a quoted host name) corrupts the whole scrape.
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_quote_total", "", Label{Key: "v", Value: `say "hi"`}).Inc()
+	reg.Counter("esc_backslash_total", "", Label{Key: "v", Value: `C:\traces\gcc`}).Inc()
+	reg.Counter("esc_newline_total", "", Label{Key: "v", Value: "line1\nline2"}).Inc()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		`esc_quote_total{v="say \"hi\""} 1`,
+		`esc_backslash_total{v="C:\\traces\\gcc"} 1`,
+		`esc_newline_total{v="line1\nline2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The newline must be escaped, not literal: every sample line has to
+	// parse as name{labels} value.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Errorf("sample line %q is not `series value` shaped (torn by an unescaped newline?)", line)
+		}
+	}
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound contract
+// (le semantics): a value equal to a bound lands in that bound's bucket,
+// one past it falls through to the next, and values beyond the last bound
+// land in +Inf. The rendered cumulative buckets must agree.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100})
+	h.Observe(10)  // == bound 0 → bucket le="10"
+	h.Observe(11)  // just past → bucket le="100"
+	h.Observe(100) // == bound 1 → bucket le="100"
+	h.Observe(101) // past all bounds → +Inf
+	h.Observe(0)   // min value → first bucket
+
+	if got := h.buckets[0].Load(); got != 2 {
+		t.Errorf("le=10 bucket holds %d, want 2 (0 and the on-boundary 10)", got)
+	}
+	if got := h.buckets[1].Load(); got != 2 {
+		t.Errorf("le=100 bucket holds %d, want 2 (11 and the on-boundary 100)", got)
+	}
+	if got := h.buckets[2].Load(); got != 1 {
+		t.Errorf("+Inf bucket holds %d, want 1 (101)", got)
+	}
+	if h.Count() != 5 || h.Sum() != 222 {
+		t.Errorf("count=%d sum=%d, want 5/222", h.Count(), h.Sum())
+	}
+
+	reg := NewRegistry()
+	rh := reg.Histogram("bounds_us", "", []uint64{10, 100})
+	for _, v := range []uint64{10, 11, 100, 101, 0} {
+		rh.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`bounds_us_bucket{le="10"} 2`,
+		`bounds_us_bucket{le="100"} 4`, // cumulative: 2 + 2
+		`bounds_us_bucket{le="+Inf"} 5`,
+		`bounds_us_sum 222`,
+		`bounds_us_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sync"
 	"testing"
 
 	"clgp/internal/isa"
@@ -195,5 +196,36 @@ func TestValidateRejectsChaseOverflow(t *testing.T) {
 	p.PointerChaseFrac = -0.1
 	if err := p.Validate(); err == nil {
 		t.Error("negative chase fraction accepted")
+	}
+}
+
+// TestBuildImageSafeForConcurrentLookup pins the seal contract: the image
+// BuildImage returns is shared by parallel engines in streamed sweeps, so
+// concurrent Inst lookups must not trigger a lazy rebuild. Run under
+// -race this fails deterministically on an unsealed dictionary (the first
+// two concurrent lookups race on the dense-table build).
+func TestBuildImageSafeForConcurrentLookup(t *testing.T) {
+	p, err := ProfileByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildImage(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := d.Bounds()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pc := lo; pc <= hi; pc += isa.InstBytes {
+				d.Inst(pc)
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Inst(d.Entry()) == nil {
+		t.Fatal("entry point not in the image")
 	}
 }
