@@ -5,9 +5,9 @@
 // Usage:
 //
 //	clgpsim run     [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0] [-tracefile F -window N] [-no-skip] [-cpuprofile F] [-memprofile F] [-runtime-trace F]
-//	clgpsim sweep   [-profile gcc] [-insts 200000] [-tech 90] [-workers 0] [-json BENCH_sweep.json] [-tracefile F -window N] [-store URL] [-cpuprofile F] [-memprofile F] [-metrics-addr A [-metrics-addr-file F]]
+//	clgpsim sweep   [-profile gcc] [-insts 200000] [-seeds N] [-tech 90] [-workers 0] [-json BENCH_sweep.json] [-tracefile F -window N] [-store URL] [-cpuprofile F] [-memprofile F] [-metrics-addr A [-metrics-addr-file F]]
 //	clgpsim bench   [-profile gcc] [-insts 100000] [-workers 0] [-json BENCH_clgpsim.json] [-grid=t|f] [-core-json BENCH_core.json] [-core-insts 200000] [-gate BASELINE.json] [-max-regress 0.10]
-//	clgpsim figures [-insts 200000] [-techs 90,45] [-profiles ...] [-dir clgp-figures] [-shards 0] [-exec] [-resume] [-store URL] [-ssh h1,h2] [-retries 1] [-progress] [-stall-after D] [-trace-out F] [-metrics-addr A [-metrics-addr-file F]]
+//	clgpsim figures [-insts 200000] [-seeds N] [-techs 90,45] [-profiles ...] [-dir clgp-figures] [-shards 0] [-exec] [-resume] [-store URL] [-ssh h1,h2] [-retries 1] [-paper-ref refs/paper_ref.json] [-write-ref F] [-progress] [-stall-after D] [-trace-out F] [-metrics-addr A [-metrics-addr-file F]]
 //	clgpsim worker  -store LOC -shard N [-workers 0] [-heartbeat 2s] [-metrics-addr A [-metrics-addr-file F]] [-span-parent ID] [-runtime-trace F]
 //	clgpsim store   serve [-dir clgp-store] [-addr 127.0.0.1:8420] [-addr-file F]
 //	clgpsim trace   record|info|slice|bench ...
@@ -79,7 +79,7 @@ commands:
   run      simulate one configuration and print its statistics
   sweep    run an (engine x L1 size) grid in parallel and print the IPC table
   bench    measure simulator throughput (serial vs parallel) and emit BENCH json
-  figures  run/resume the sharded full-paper grid and emit Figure 1/6/7/8 series
+  figures  run/resume the sharded full-paper grid, emit Figure 1/6/7/8 series (mean±CI with -seeds) and gate them against a paper reference table
   worker   execute one shard of a sweep store (spawned by figures -exec / -ssh)
   store    serve a sweep object store over HTTP for multi-host dispatch
   trace    record/inspect/slice on-disk trace containers and bench trace I/O
@@ -278,7 +278,8 @@ func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	profile := fs.String("profile", "gcc", "workload profile")
 	insts := fs.Int("insts", 200_000, "trace length in instructions")
-	seed := fs.Int64("seed", 1, "workload generation seed")
+	seed := fs.Int64("seed", 1, "workload generation seed (of the first replicate)")
+	seeds := fs.Int("seeds", 1, "replicate seeds per grid point (replicate r runs seed+r); >1 prints mean±CI cells")
 	tech := fs.String("tech", "90", "technology node (90|45)")
 	useL0 := fs.Bool("l0", false, "add the one-cycle L0 to prefetching engines")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -319,6 +320,15 @@ func cmdSweep(args []string) error {
 	tn, err := cacti.ParseTech(*tech)
 	if err != nil {
 		return err
+	}
+	reps := *seeds
+	if reps < 1 {
+		reps = 1
+	}
+	// A recorded trace container holds exactly one (profile, seed);
+	// replication needs a regenerated workload per seed.
+	if reps > 1 && (*traceFile != "" || *storeFlag != "") {
+		return fmt.Errorf("sweep: -seeds %d needs regenerated workloads; a recorded trace container holds one seed", reps)
 	}
 	if *storeFlag != "" {
 		// The remote-fetch path: rebuild the program image from the flags,
@@ -366,10 +376,26 @@ func cmdSweep(args []string) error {
 	}
 	engines := []core.EngineKind{core.EngineNone, core.EngineNextN, core.EngineFDP, core.EngineCLGP}
 	sizes := cacti.L1Sizes()
-	jobs := sim.SweepJobs(w, tn, sizes, engines, *useL0, 0)
-	for i := range jobs {
-		jobs[i].TraceFile = *traceFile
-		jobs[i].Window = *window
+	// Replicate r sweeps the same grid over the workload regenerated with
+	// seed+r; replicate 0 keeps the bare job names, so a single-seed sweep
+	// is exactly the pre-replication one.
+	var jobs []sim.Job
+	for rep := 0; rep < reps; rep++ {
+		wr := w
+		if rep > 0 {
+			wr, err = loadWorkload(*profile, *insts, *seed+int64(rep))
+			if err != nil {
+				return err
+			}
+		}
+		repJobs := sim.SweepJobs(wr, tn, sizes, engines, *useL0, 0)
+		for i := range repJobs {
+			repJobs[i].Name = sim.ReplicateName(repJobs[i].Name, rep)
+			repJobs[i].Config.Name = repJobs[i].Name
+			repJobs[i].TraceFile = *traceFile
+			repJobs[i].Window = *window
+		}
+		jobs = append(jobs, repJobs...)
 	}
 
 	runner := sim.Runner{Workers: *workers}
@@ -379,22 +405,33 @@ func cmdSweep(args []string) error {
 	wall := time.Since(start)
 	usage := sampler.Stop()
 
-	// One IPC series per engine over the L1 sweep (a paper figure).
-	set := stats.SeriesSet{
-		Title:  fmt.Sprintf("IPC vs L1 size — %s @ %v", w.Name, tn),
-		XLabel: "L1I", YLabel: "IPC",
+	// One IPC series per engine over the L1 sweep (a paper figure); on a
+	// replicated sweep each cell folds the replicates — in replicate order,
+	// for bit-reproducible aggregates — into mean±CI.
+	title := fmt.Sprintf("IPC vs L1 size — %s @ %v", w.Name, tn)
+	if reps > 1 {
+		title += fmt.Sprintf(" (%d seeds)", reps)
 	}
-	i := 0
-	for _, ek := range engines {
+	set := stats.SeriesSet{Title: title, XLabel: "L1I", YLabel: "IPC"}
+	perRep := len(engines) * len(sizes)
+	for ei, ek := range engines {
 		s := &stats.Series{Name: ek.String()}
 		set.Series = append(set.Series, s)
-		for range sizes {
-			r := results[i]
-			if r.Err != nil {
-				return fmt.Errorf("job %s: %w", jobs[i].Name, r.Err)
+		for si, size := range sizes {
+			var acc stats.Welford
+			for rep := 0; rep < reps; rep++ {
+				i := rep*perRep + ei*len(sizes) + si
+				r := results[i]
+				if r.Err != nil {
+					return fmt.Errorf("job %s: %w", jobs[i].Name, r.Err)
+				}
+				acc.Add(r.Stats.IPC())
 			}
-			s.Add(float64(jobs[i].Config.L1ISize), r.Stats.IPC())
-			i++
+			if reps > 1 {
+				s.AddStat(float64(size), acc)
+			} else {
+				s.Add(float64(size), acc.Mean)
+			}
 		}
 	}
 	fmt.Println(set.Title)

@@ -1,0 +1,86 @@
+package dispatch
+
+import (
+	"fmt"
+	"sort"
+
+	"clgp/internal/stats"
+)
+
+// This file is the replicate-aggregation half of merging: merged run records
+// of a multi-seed grid are regrouped by grid point (the job label without
+// the replicate suffix), ordered by replicate index, and folded into
+// streaming Welford accumulators. The fold order is fixed — members sort by
+// Rep before any accumulation — because floating-point addition is not
+// associative: a fold in arrival order would make the aggregate depend on
+// which shard finished first, and CI widths must reflect seed variance only.
+
+// ReplicateGroup is one grid point's worth of replicate runs.
+type ReplicateGroup struct {
+	// Point is the grid-point label (JobSpec.PointName — the job name
+	// without the replicate suffix).
+	Point string
+	// Spec is the lowest-replicate member's spec, usable wherever a
+	// per-point configuration (profile, engine, tech, size, ...) is needed.
+	Spec JobSpec
+	// Records are the point's runs, sorted by replicate index.
+	Records []RunRecord
+}
+
+// GroupReplicates regroups merged records by grid point. Groups come back
+// sorted by point label and members sorted by replicate index, so the result
+// — and any aggregate folded from it — is bit-identical for every arrival
+// order of the same records. Two records claiming the same (point,
+// replicate) are a corrupt merge and rejected.
+func GroupReplicates(records []RunRecord) ([]ReplicateGroup, error) {
+	byPoint := make(map[string]*ReplicateGroup)
+	for _, rec := range records {
+		point := rec.Spec.PointName()
+		g := byPoint[point]
+		if g == nil {
+			g = &ReplicateGroup{Point: point}
+			byPoint[point] = g
+		}
+		g.Records = append(g.Records, rec)
+	}
+	groups := make([]ReplicateGroup, 0, len(byPoint))
+	for _, g := range byPoint {
+		sort.Slice(g.Records, func(i, j int) bool { return g.Records[i].Spec.Rep < g.Records[j].Spec.Rep })
+		for i := 1; i < len(g.Records); i++ {
+			if g.Records[i].Spec.Rep == g.Records[i-1].Spec.Rep {
+				return nil, fmt.Errorf("dispatch: point %q holds replicate %d twice", g.Point, g.Records[i].Spec.Rep)
+			}
+		}
+		g.Spec = g.Records[0].Spec
+		groups = append(groups, *g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Point < groups[j].Point })
+	return groups, nil
+}
+
+// Reps returns the number of successful replicate runs in the group.
+func (g ReplicateGroup) Reps() int {
+	n := 0
+	for _, rec := range g.Records {
+		if rec.Err == "" && rec.Stats != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Fold accumulates metric over the group's successful replicates, in
+// replicate order, into a Welford accumulator. Derived metrics (IPC, hit
+// rates, fetch fractions) are computed per replicate and averaged — never
+// computed from summed counters — so the mean and CI describe the
+// distribution the seeds actually produced.
+func (g ReplicateGroup) Fold(metric func(*stats.Results) float64) stats.Welford {
+	var w stats.Welford
+	for _, rec := range g.Records {
+		if rec.Err != "" || rec.Stats == nil {
+			continue
+		}
+		w.Add(metric(rec.Stats))
+	}
+	return w
+}

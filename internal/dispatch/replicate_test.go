@@ -1,0 +1,260 @@
+package dispatch
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"clgp/internal/core"
+	"clgp/internal/stats"
+)
+
+// replicatedGrid is testGrid with a seed axis: 3 replicate seeds per grid
+// point, 24 jobs over 6 distinct (profile, seed) workloads.
+func replicatedGrid(t testing.TB, seeds int) []JobSpec {
+	t.Helper()
+	specs, err := GridSpecs(GridConfig{
+		Profiles: []string{"gzip", "mcf"},
+		Insts:    6_000,
+		Seed:     7,
+		Seeds:    seeds,
+		Engines:  []core.EngineKind{core.EngineNone, core.EngineCLGP},
+		Sizes:    []int{1 << 10, 4 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+func TestGridSeedAxis(t *testing.T) {
+	single := testGrid(t)
+	tripled := replicatedGrid(t, 3)
+	if len(tripled) != 3*len(single) {
+		t.Fatalf("3-seed grid has %d jobs, want %d", len(tripled), 3*len(single))
+	}
+	names := make(map[string]bool)
+	seeds := make(map[int64]bool)
+	for _, s := range tripled {
+		if names[s.Name()] {
+			t.Errorf("duplicate job name %q in replicated grid", s.Name())
+		}
+		names[s.Name()] = true
+		seeds[s.Seed] = true
+		if want := int64(7 + s.Rep); s.Seed != want {
+			t.Errorf("job %s: replicate %d runs seed %d, want %d", s.Name(), s.Rep, s.Seed, want)
+		}
+		if s.Rep == 0 && strings.Contains(s.Name(), "#r") {
+			t.Errorf("replicate 0 name %q carries a replicate suffix", s.Name())
+		}
+		if s.Rep > 0 && !strings.HasSuffix(s.Name(), "#r"+strconv.Itoa(s.Rep)) {
+			t.Errorf("replicate %d name %q lacks its suffix", s.Rep, s.Name())
+		}
+		if got := s.PointName(); strings.Contains(got, "#r") {
+			t.Errorf("point name %q carries a replicate suffix", got)
+		}
+	}
+	if len(seeds) != 3 {
+		t.Errorf("replicated grid covers %d seeds, want 3", len(seeds))
+	}
+	// The Rep==0 subset (in enumeration order) is exactly the single-seed
+	// grid: same specs, same names, so single-seed manifests — and their
+	// grid hashes — stay compatible with grids from before the seed axis.
+	var rep0 []JobSpec
+	for _, s := range tripled {
+		if s.Rep == 0 {
+			rep0 = append(rep0, s)
+		}
+	}
+	if len(rep0) != len(single) {
+		t.Fatalf("replicated grid holds %d rep-0 jobs, want %d", len(rep0), len(single))
+	}
+	for i, s := range single {
+		if rep0[i] != s {
+			t.Errorf("replicate 0 job %d differs from the single-seed grid: %+v vs %+v", i, rep0[i], s)
+		}
+	}
+	// A Seeds of 0 or 1 must enumerate (and hash) identically.
+	if GridHash(replicatedGrid(t, 0)) != GridHash(single) || GridHash(replicatedGrid(t, 1)) != GridHash(single) {
+		t.Error("Seeds<=1 grid hashes differently from the pre-axis grid")
+	}
+}
+
+// TestGridHashCoversSeedList: dispatch_test.go's hash test only mutates one
+// job's Seed scalar — this covers grids differing solely in the seed *list*
+// (replicate count), which must hash apart and never cross-resume.
+func TestGridHashCoversSeedList(t *testing.T) {
+	one := replicatedGrid(t, 1)
+	two := replicatedGrid(t, 2)
+	three := replicatedGrid(t, 3)
+	if GridHash(one) == GridHash(two) || GridHash(two) == GridHash(three) {
+		t.Fatal("grids differing only in replicate count share a grid hash")
+	}
+
+	// A checkpoint planned for the 2-seed grid must reject a 3-seed resume
+	// (and the single-seed one), exactly as any other grid mismatch.
+	dir := t.TempDir()
+	o := &Orchestrator{Dir: dir, Workers: 1}
+	if _, err := o.prepare(NewDirStore(dir), two, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Run(three, 2, true); err == nil {
+		t.Error("resume with a different seed list should fail")
+	}
+	if _, err := o.Run(one, 2, true); err == nil {
+		t.Error("resume with the single-seed grid should fail")
+	}
+}
+
+func TestGridRejectsTraceFileReplication(t *testing.T) {
+	_, err := GridSpecs(GridConfig{
+		Profiles:  []string{"gzip"},
+		Insts:     6_000,
+		Seed:      7,
+		Seeds:     2,
+		TraceFile: "shared.clgt",
+	})
+	if err == nil {
+		t.Fatal("a shared trace file records one seed; a replicated grid over it must be rejected")
+	}
+}
+
+// fakeReplicateRecords builds records for a replicated grid with synthetic
+// per-seed stats, so grouping and folding can be checked without simulating.
+func fakeReplicateRecords(t *testing.T) []RunRecord {
+	specs := replicatedGrid(t, 3)
+	recs := make([]RunRecord, len(specs))
+	for i, s := range specs {
+		recs[i] = RunRecord{
+			Job: s.Name(), Spec: s,
+			Stats: &stats.Results{
+				Name:      s.Name(),
+				Cycles:    uint64(10_000 + 137*s.Seed + int64(s.L1Size)),
+				Committed: 6_000,
+			},
+		}
+	}
+	return recs
+}
+
+// TestGroupReplicatesReorderInvariant extends the Summarise reorder-test
+// pattern to replicate aggregation: whatever order records arrive in (shard
+// completion order is nondeterministic), the groups — and any Welford
+// aggregate folded from them — must be bit-identical, because the fold
+// happens in sorted replicate order, never arrival order.
+func TestGroupReplicatesReorderInvariant(t *testing.T) {
+	recs := fakeReplicateRecords(t)
+	want, err := GroupReplicates(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(recs)/3 {
+		t.Fatalf("%d groups from %d records, want %d", len(want), len(recs), len(recs)/3)
+	}
+	ipc := func(r *stats.Results) float64 { return r.IPC() }
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]RunRecord(nil), recs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got, err := GroupReplicates(shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: groups differ under reordering", trial)
+		}
+		for gi := range got {
+			if got[gi].Fold(ipc) != want[gi].Fold(ipc) {
+				t.Fatalf("trial %d: point %s aggregate differs bitwise under reordering", trial, got[gi].Point)
+			}
+			if got[gi].Reps() != 3 {
+				t.Fatalf("point %s has %d successful replicates, want 3", got[gi].Point, got[gi].Reps())
+			}
+		}
+	}
+}
+
+func TestGroupReplicatesRejectsDuplicates(t *testing.T) {
+	recs := fakeReplicateRecords(t)
+	// Find another replicate of record 0's grid point and demote it to
+	// replicate 0 too: two records now claim one (point, replicate).
+	point := recs[0].Spec.PointName()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Spec.PointName() == point {
+			recs[i].Spec.Rep = recs[0].Spec.Rep
+			break
+		}
+	}
+	if _, err := GroupReplicates(recs); err == nil {
+		t.Fatal("duplicate (point, replicate) must be rejected as a corrupt merge")
+	}
+}
+
+// TestReplicationDeterminismAcrossModes: the same replicated grid run via
+// the in-process, child-process and fused paths yields bit-identical
+// stats.Results per job (telemetry aside), so CI width reflects seed
+// variance only — never launcher nondeterminism.
+func TestReplicationDeterminismAcrossModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping child-process mode in -short mode")
+	}
+	specs := replicatedGrid(t, 2)
+
+	collect := func(out *Outcome) map[string]stats.Results {
+		t.Helper()
+		got := make(map[string]stats.Results, len(out.Records))
+		for _, rec := range out.Records {
+			if rec.Err != "" {
+				t.Fatalf("job %s failed: %s", rec.Job, rec.Err)
+			}
+			got[rec.Job] = rec.Stats.WithoutTelemetry()
+		}
+		if len(got) != len(specs) {
+			t.Fatalf("merged %d jobs, want %d", len(got), len(specs))
+		}
+		return got
+	}
+
+	inproc := &Orchestrator{Dir: t.TempDir(), Workers: 2}
+	outIn, err := inproc.Run(specs, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := collect(outIn)
+
+	fused := &Orchestrator{Dir: t.TempDir(), Workers: 2, Fused: true}
+	outFused, err := fused.Run(specs, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job, res := range collect(outFused) {
+		if !reflect.DeepEqual(res, baseline[job]) {
+			t.Errorf("fused job %s diverged from the in-process run", job)
+		}
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := &Orchestrator{
+		Dir: t.TempDir(), Workers: 1, Parallel: 2, Mode: ModeChild,
+		WorkerArgv: func(dir string, shard, workers int, spanParent string) []string {
+			return []string{exe, "-test.run", "TestHelperWorkerProcess", "--",
+				dir, strconv.Itoa(shard), strconv.Itoa(workers)}
+		},
+		Logger: testLogger(t),
+	}
+	outChild, err := child.Run(specs, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job, res := range collect(outChild) {
+		if !reflect.DeepEqual(res, baseline[job]) {
+			t.Errorf("child-process job %s diverged from the in-process run", job)
+		}
+	}
+}

@@ -21,6 +21,12 @@ type JobSpec struct {
 	Insts int `json:"insts"`
 	// Seed is the workload generation seed.
 	Seed int64 `json:"seed"`
+	// Rep is the replicate index of the job within a multi-seed grid: the
+	// grid point is the same, the Seed differs per replicate. Replicate 0
+	// (and every single-seed job — omitempty keeps its serialisation, and
+	// therefore the grid hash of old manifests, unchanged) carries the bare
+	// job name; higher replicates suffix it, so names stay unique.
+	Rep int `json:"rep,omitempty"`
 	// TraceFile, when non-empty, streams the committed trace from a shared
 	// recorded trace container instead of regenerating (walking) the
 	// workload: workers rebuild only the program image from (Profile, Seed)
@@ -64,15 +70,24 @@ func (s JobSpec) Validate() error {
 	return nil
 }
 
-// Name returns the job's unique label within its grid (sim.JobName form).
+// Name returns the job's unique label within its grid (sim.JobName form,
+// with the replicate suffix for replicates beyond the first).
 func (s JobSpec) Name() string {
 	tech, err := cacti.ParseTech(s.Tech)
 	eng, err2 := core.ParseEngineKind(s.Engine)
 	if err != nil || err2 != nil {
 		// Unparseable specs still need a stable label for error reports.
-		return fmt.Sprintf("%s/%s/%s/L1=%dB", s.Profile, s.Engine, s.Tech, s.L1Size)
+		return sim.ReplicateName(fmt.Sprintf("%s/%s/%s/L1=%dB", s.Profile, s.Engine, s.Tech, s.L1Size), s.Rep)
 	}
-	return sim.JobName(s.Profile, eng, tech, s.L1Size, s.UseL0, s.Ideal)
+	return sim.ReplicateName(sim.JobName(s.Profile, eng, tech, s.L1Size, s.UseL0, s.Ideal), s.Rep)
+}
+
+// PointName returns the job's grid-point label without the replicate
+// suffix — the key replicate aggregation groups on.
+func (s JobSpec) PointName() string {
+	p := s
+	p.Rep = 0
+	return p.Name()
 }
 
 // WorkloadKey identifies the workload the job runs against. Jobs with equal
@@ -121,8 +136,14 @@ type GridConfig struct {
 	Profiles []string
 	// Insts is the trace length per workload.
 	Insts int
-	// Seed is the workload generation seed.
+	// Seed is the workload generation seed (of the first replicate).
 	Seed int64
+	// Seeds is the number of replicate seeds per grid point: replicate r
+	// runs seed Seed+r. 0 or 1 means a single-seed grid, enumerated exactly
+	// as before the seed axis existed (same specs, same grid hash).
+	// Replication regenerates workloads per seed, so it cannot be combined
+	// with a shared TraceFile, which records exactly one (profile, seed).
+	Seeds int
 	// Techs are the technology nodes to sweep.
 	Techs []cacti.Tech
 	// Engines are the instruction-delivery engines to sweep.
@@ -159,6 +180,13 @@ func GridSpecs(gc GridConfig) ([]JobSpec, error) {
 	if gc.TraceFile != "" && len(profiles) != 1 {
 		return nil, fmt.Errorf("dispatch: a shared trace file records one workload; the grid names %d profiles", len(profiles))
 	}
+	reps := gc.Seeds
+	if reps <= 0 {
+		reps = 1
+	}
+	if gc.TraceFile != "" && reps > 1 {
+		return nil, fmt.Errorf("dispatch: a shared trace file records one seed; the grid asks for %d replicate seeds", reps)
+	}
 	techs := gc.Techs
 	if len(techs) == 0 {
 		techs = []cacti.Tech{cacti.Tech90}
@@ -180,37 +208,43 @@ func GridSpecs(gc GridConfig) ([]JobSpec, error) {
 		specs = append(specs, s)
 		return nil
 	}
+	// Replicates enumerate inside the profile loop (profiles outer, seeds
+	// next) so all jobs of one (profile, seed) workload stay contiguous and
+	// the shard planner keeps each replicate's workload on one shard.
 	for _, prof := range profiles {
-		for _, tech := range techs {
-			for _, eng := range engines {
-				l0s := []bool{false}
-				if gc.L0Variants && eng != core.EngineNone {
-					l0s = []bool{false, true}
+		for rep := 0; rep < reps; rep++ {
+			seed := gc.Seed + int64(rep)
+			for _, tech := range techs {
+				for _, eng := range engines {
+					l0s := []bool{false}
+					if gc.L0Variants && eng != core.EngineNone {
+						l0s = []bool{false, true}
+					}
+					for _, l0 := range l0s {
+						for _, size := range sizes {
+							err := add(JobSpec{
+								Profile: prof, Insts: gc.Insts, Seed: seed, Rep: rep,
+								TraceFile: gc.TraceFile, Window: gc.Window,
+								Tech: tech.String(), Engine: eng.String(),
+								L1Size: size, UseL0: l0, MaxInsts: gc.MaxInsts,
+							})
+							if err != nil {
+								return nil, err
+							}
+						}
+					}
 				}
-				for _, l0 := range l0s {
+				if gc.IncludeIdeal {
 					for _, size := range sizes {
 						err := add(JobSpec{
-							Profile: prof, Insts: gc.Insts, Seed: gc.Seed,
+							Profile: prof, Insts: gc.Insts, Seed: seed, Rep: rep,
 							TraceFile: gc.TraceFile, Window: gc.Window,
-							Tech: tech.String(), Engine: eng.String(),
-							L1Size: size, UseL0: l0, MaxInsts: gc.MaxInsts,
+							Tech: tech.String(), Engine: core.EngineNone.String(),
+							L1Size: size, Ideal: true, MaxInsts: gc.MaxInsts,
 						})
 						if err != nil {
 							return nil, err
 						}
-					}
-				}
-			}
-			if gc.IncludeIdeal {
-				for _, size := range sizes {
-					err := add(JobSpec{
-						Profile: prof, Insts: gc.Insts, Seed: gc.Seed,
-						TraceFile: gc.TraceFile, Window: gc.Window,
-						Tech: tech.String(), Engine: core.EngineNone.String(),
-						L1Size: size, Ideal: true, MaxInsts: gc.MaxInsts,
-					})
-					if err != nil {
-						return nil, err
 					}
 				}
 			}

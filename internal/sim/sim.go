@@ -285,6 +285,17 @@ func JobName(workloadName string, eng core.EngineKind, tech cacti.Tech, l1Size i
 	return fmt.Sprintf("%s/%s/%s/L1=%s", workloadName, engLabel, tech, stats.FormatBytes(float64(l1Size)))
 }
 
+// ReplicateName suffixes a job label with its replicate index. Replicate 0
+// keeps the bare label, so single-seed grids — and the first replicate of a
+// multi-seed one — name jobs exactly as before replication existed; higher
+// replicates append "#r<N>", keeping names unique within a replicated grid.
+func ReplicateName(base string, rep int) string {
+	if rep <= 0 {
+		return base
+	}
+	return fmt.Sprintf("%s#r%d", base, rep)
+}
+
 // SweepJobs builds the cross product of engines × L1 sizes for one
 // technology node over a workload — one paper figure's worth of runs.
 func SweepJobs(w *workload.Workload, tech cacti.Tech, sizes []int, engines []core.EngineKind, useL0 bool, maxInsts int) []Job {

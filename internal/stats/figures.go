@@ -69,13 +69,23 @@ type seriesJSON struct {
 	Name string    `json:"name"`
 	X    []float64 `json:"x"`
 	Y    []float64 `json:"y"`
+	// Replication columns, present only on multi-seed series (omitempty
+	// keeps single-seed files byte-identical to the pre-replication format):
+	// per-point replicate count, sample stddev and 95% CI half-width. Y is
+	// then the per-point mean.
+	N      []int     `json:"n,omitempty"`
+	Stddev []float64 `json:"stddev,omitempty"`
+	CI95   []float64 `json:"ci95,omitempty"`
 }
 
 // JSON encodes the set (indented, trailing newline) for figure files.
 func (ss *SeriesSet) JSON() ([]byte, error) {
 	out := seriesSetJSON{Title: ss.Title, XLabel: ss.XLabel, YLabel: ss.YLabel, Labels: ss.Labels}
 	for _, s := range ss.Series {
-		out.Series = append(out.Series, seriesJSON{Name: s.Name, X: s.X, Y: s.Y})
+		out.Series = append(out.Series, seriesJSON{
+			Name: s.Name, X: s.X, Y: s.Y,
+			N: s.N, Stddev: s.Stddev, CI95: s.CI95,
+		})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -92,31 +102,48 @@ func SeriesSetFromJSON(data []byte) (*SeriesSet, error) {
 	}
 	ss := &SeriesSet{Title: in.Title, XLabel: in.XLabel, YLabel: in.YLabel, Labels: in.Labels}
 	for _, s := range in.Series {
-		ss.Series = append(ss.Series, &Series{Name: s.Name, X: s.X, Y: s.Y})
+		ss.Series = append(ss.Series, &Series{
+			Name: s.Name, X: s.X, Y: s.Y,
+			N: s.N, Stddev: s.Stddev, CI95: s.CI95,
+		})
 	}
 	return ss, nil
 }
 
 // WriteCSV renders the set as CSV: a header of the x axis plus one column
 // per series, one row per x value (labelled via Labels when present);
-// missing points are empty cells.
+// missing points are empty cells. A replicated series self-describes by
+// expanding into four columns — <name> (the mean), <name>_n, <name>_stddev
+// and <name>_ci95 — while single-seed series emit exactly the
+// pre-replication single column, byte for byte.
 func (ss *SeriesSet) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{ss.XLabel}
 	for _, s := range ss.Series {
 		header = append(header, s.Name)
+		if s.Replicated() {
+			header = append(header, s.Name+"_n", s.Name+"_stddev", s.Name+"_ci95")
+		}
 	}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("stats: writing CSV of %q: %w", ss.Title, err)
 	}
+	fmtF := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, x := range ss.xValues() {
 		row := []string{ss.Label(x)}
 		for _, s := range ss.Series {
 			y := s.YAt(x)
 			if math.IsNaN(y) {
 				row = append(row, "")
-			} else {
-				row = append(row, strconv.FormatFloat(y, 'g', -1, 64))
+				if s.Replicated() {
+					row = append(row, "", "", "")
+				}
+				continue
+			}
+			row = append(row, fmtF(y))
+			if s.Replicated() {
+				n, stddev, ci := s.StatAt(x)
+				row = append(row, strconv.Itoa(n), fmtF(stddev), fmtF(ci))
 			}
 		}
 		if err := cw.Write(row); err != nil {

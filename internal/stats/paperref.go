@@ -1,0 +1,432 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+)
+
+// This file is the paper-fidelity half of the package: a committed reference
+// table of expected figure magnitudes (refs/paper_ref.json) with per-point
+// tolerance bands, a differ that compares emitted SeriesSet figures against
+// it, and a delta report (JSON + CSV) whose structural out-of-band entries
+// gate CI. The table is the source of truth the harness is held to between
+// PRs: a retuned profile or a horizon bug that shifts magnitudes — which
+// per-mode DeepEqual equivalence tests can never see, because both modes
+// shift together — fails the gate instead of shipping silently.
+
+// refTableVersion is the on-disk format version; ParseRefTable refuses any
+// other so a table written by a future layout cannot be half-read.
+const refTableVersion = 1
+
+// RefPoint is one expected value of a reference series, keyed by the point's
+// axis label (SeriesSet.Label form: a category name like "gzip" for labelled
+// figures, the numeric rendering like "1024" for numeric axes).
+type RefPoint struct {
+	// X is the axis label of the point.
+	X string `json:"x"`
+	// Value is the expected magnitude.
+	Value float64 `json:"value"`
+	// RelTol and AbsTol define the tolerance band: the point is in band
+	// when |actual - Value| <= max(RelTol*|Value|, AbsTol). At least one
+	// must be positive — a band of zero width would fail on any
+	// floating-point wiggle, which is never the intent of a reference.
+	RelTol float64 `json:"rel_tol,omitempty"`
+	AbsTol float64 `json:"abs_tol,omitempty"`
+}
+
+// Band returns the absolute tolerance half-width of the point.
+func (p RefPoint) Band() float64 {
+	band := p.RelTol * math.Abs(p.Value)
+	if p.AbsTol > band {
+		band = p.AbsTol
+	}
+	return band
+}
+
+// RefSeries is one series of expected values within a figure.
+type RefSeries struct {
+	// Name matches the emitted Series.Name.
+	Name string `json:"name"`
+	// Structural marks deltas of this series as gating: an out-of-band (or
+	// missing) structural point fails the fidelity gate, while advisory
+	// series only show up in the report.
+	Structural bool `json:"structural,omitempty"`
+	// Points are the expected values.
+	Points []RefPoint `json:"points"`
+}
+
+// RefFigure is one figure's worth of reference series.
+type RefFigure struct {
+	// Figure names the emitted figure file base (e.g. "figure6_ipc_90nm").
+	Figure string `json:"figure"`
+	// Series are the expected series of the figure.
+	Series []RefSeries `json:"series"`
+}
+
+// RefTable is a committed reference of expected figure magnitudes.
+type RefTable struct {
+	// Version is the table format version (refTableVersion).
+	Version int `json:"version"`
+	// Source names where the expected values come from (the paper id or the
+	// pinned harness configuration they were captured from).
+	Source string `json:"source"`
+	// Generator records the exact command that regenerates the table, so a
+	// legitimate magnitude change (a documented retune) can refresh it
+	// reproducibly.
+	Generator string `json:"generator,omitempty"`
+	// Figures are the referenced figures.
+	Figures []RefFigure `json:"figures"`
+}
+
+// ParseRefTable decodes and validates reference-table bytes. It is strict on
+// purpose — unknown fields, a wrong version, duplicate or empty names,
+// non-finite values and zero-width tolerance bands are all rejected — so a
+// corrupt or hand-mangled table fails loudly at load time instead of
+// silently gating against garbage.
+func ParseRefTable(data []byte) (*RefTable, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var t RefTable
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("stats: decoding paper reference: %w", err)
+	}
+	// Trailing garbage after the table object is corruption, not padding.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("stats: paper reference holds trailing data after the table")
+	}
+	if t.Version != refTableVersion {
+		return nil, fmt.Errorf("stats: paper reference version %d, this build understands %d", t.Version, refTableVersion)
+	}
+	if t.Source == "" {
+		return nil, fmt.Errorf("stats: paper reference names no source")
+	}
+	if len(t.Figures) == 0 {
+		return nil, fmt.Errorf("stats: paper reference holds no figures")
+	}
+	figSeen := make(map[string]bool)
+	for _, fig := range t.Figures {
+		if fig.Figure == "" {
+			return nil, fmt.Errorf("stats: paper reference holds a figure with no name")
+		}
+		if figSeen[fig.Figure] {
+			return nil, fmt.Errorf("stats: paper reference holds figure %q twice", fig.Figure)
+		}
+		figSeen[fig.Figure] = true
+		if len(fig.Series) == 0 {
+			return nil, fmt.Errorf("stats: paper reference figure %q holds no series", fig.Figure)
+		}
+		serSeen := make(map[string]bool)
+		for _, ser := range fig.Series {
+			if ser.Name == "" {
+				return nil, fmt.Errorf("stats: paper reference figure %q holds a series with no name", fig.Figure)
+			}
+			if serSeen[ser.Name] {
+				return nil, fmt.Errorf("stats: paper reference figure %q holds series %q twice", fig.Figure, ser.Name)
+			}
+			serSeen[ser.Name] = true
+			if len(ser.Points) == 0 {
+				return nil, fmt.Errorf("stats: paper reference %s/%s holds no points", fig.Figure, ser.Name)
+			}
+			ptSeen := make(map[string]bool)
+			for _, pt := range ser.Points {
+				if pt.X == "" {
+					return nil, fmt.Errorf("stats: paper reference %s/%s holds a point with no x label", fig.Figure, ser.Name)
+				}
+				if ptSeen[pt.X] {
+					return nil, fmt.Errorf("stats: paper reference %s/%s holds point %q twice", fig.Figure, ser.Name, pt.X)
+				}
+				ptSeen[pt.X] = true
+				if math.IsNaN(pt.Value) || math.IsInf(pt.Value, 0) {
+					return nil, fmt.Errorf("stats: paper reference %s/%s point %q has non-finite value", fig.Figure, ser.Name, pt.X)
+				}
+				if pt.RelTol < 0 || pt.AbsTol < 0 ||
+					math.IsNaN(pt.RelTol) || math.IsNaN(pt.AbsTol) ||
+					math.IsInf(pt.RelTol, 0) || math.IsInf(pt.AbsTol, 0) {
+					return nil, fmt.Errorf("stats: paper reference %s/%s point %q has an invalid tolerance", fig.Figure, ser.Name, pt.X)
+				}
+				if pt.Band() <= 0 {
+					return nil, fmt.Errorf("stats: paper reference %s/%s point %q has a zero-width tolerance band", fig.Figure, ser.Name, pt.X)
+				}
+			}
+		}
+	}
+	return &t, nil
+}
+
+// LoadRefTable reads and parses a reference table file.
+func LoadRefTable(path string) (*RefTable, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("stats: reading paper reference: %w", err)
+	}
+	return ParseRefTable(data)
+}
+
+// JSON encodes the table (indented, trailing newline) for committing.
+func (t *RefTable) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("stats: encoding paper reference: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// RefTableFromFigures captures a reference table from emitted figures: every
+// series point becomes an expected value with the given relative tolerance
+// plus a small absolute floor (so near-zero fractions do not get a
+// zero-width band), and every series is structural. figures maps emitted
+// file bases to their sets; names iterates them deterministically.
+func RefTableFromFigures(names []string, figures map[string]*SeriesSet, relTol, absFloor float64, source, generator string) (*RefTable, error) {
+	if relTol <= 0 {
+		return nil, fmt.Errorf("stats: reference capture needs a positive relative tolerance, got %g", relTol)
+	}
+	if absFloor <= 0 {
+		return nil, fmt.Errorf("stats: reference capture needs a positive absolute floor, got %g", absFloor)
+	}
+	t := &RefTable{Version: refTableVersion, Source: source, Generator: generator}
+	for _, name := range names {
+		ss := figures[name]
+		if ss == nil {
+			return nil, fmt.Errorf("stats: reference capture names unknown figure %q", name)
+		}
+		fig := RefFigure{Figure: name}
+		for _, s := range ss.Series {
+			ser := RefSeries{Name: s.Name, Structural: true}
+			for i, x := range s.X {
+				ser.Points = append(ser.Points, RefPoint{
+					X: ss.Label(x), Value: s.Y[i], RelTol: relTol, AbsTol: absFloor,
+				})
+			}
+			if len(ser.Points) > 0 {
+				fig.Series = append(fig.Series, ser)
+			}
+		}
+		if len(fig.Series) > 0 {
+			t.Figures = append(t.Figures, fig)
+		}
+	}
+	if len(t.Figures) == 0 {
+		return nil, fmt.Errorf("stats: reference capture found no series to reference")
+	}
+	return t, nil
+}
+
+// CI-overlap verdicts of a RefDelta.
+const (
+	// CIVerdictNA: the emitted point carries no confidence interval
+	// (single seed), so no overlap verdict exists.
+	CIVerdictNA = "n/a"
+	// CIVerdictWithin: the expected value lies inside the emitted point's
+	// 95% CI — the delta is explainable by seed variance.
+	CIVerdictWithin = "within-ci"
+	// CIVerdictOutside: the expected value lies outside the emitted 95% CI
+	// — the delta is larger than seed variance explains.
+	CIVerdictOutside = "outside-ci"
+)
+
+// RefDelta is one compared point of a fidelity diff.
+type RefDelta struct {
+	// Figure, Series and X locate the point.
+	Figure string `json:"figure"`
+	Series string `json:"series"`
+	X      string `json:"x"`
+	// Expected is the reference value; Actual the emitted one (0 and
+	// meaningless when Missing).
+	Expected float64 `json:"expected"`
+	Actual   float64 `json:"actual"`
+	// AbsDelta and RelDelta measure the difference (RelDelta is 0 when the
+	// expected value is 0).
+	AbsDelta float64 `json:"abs_delta"`
+	RelDelta float64 `json:"rel_delta"`
+	// Band is the allowed absolute half-width; InBand reports whether the
+	// delta fits it.
+	Band   float64 `json:"band"`
+	InBand bool    `json:"in_band"`
+	// Missing marks a reference point the emitted figures do not contain
+	// (absent figure, series or x value) — never in band.
+	Missing bool `json:"missing,omitempty"`
+	// Structural mirrors the reference series' flag: out-of-band here
+	// fails the gate.
+	Structural bool `json:"structural,omitempty"`
+	// N and CI95 carry the emitted point's replication columns (0 on
+	// single-seed output); CIVerdict is the overlap verdict.
+	N         int     `json:"n,omitempty"`
+	CI95      float64 `json:"ci95,omitempty"`
+	CIVerdict string  `json:"ci_verdict"`
+}
+
+// RefReport is the outcome of diffing emitted figures against a reference
+// table: one delta per reference point plus the gate counters.
+type RefReport struct {
+	// Source echoes the table's source.
+	Source string `json:"source"`
+	// Points is the number of reference points compared.
+	Points int `json:"points"`
+	// OutOfBand counts deltas outside their tolerance band (missing points
+	// included); StructuralViolations counts the subset that gates.
+	OutOfBand            int `json:"out_of_band"`
+	StructuralViolations int `json:"structural_violations"`
+	// MissingPoints counts reference points absent from the emission.
+	MissingPoints int `json:"missing_points"`
+	// Deltas are the per-point comparisons, in table order.
+	Deltas []RefDelta `json:"deltas"`
+}
+
+// DiffRef compares emitted figures against the reference table and returns
+// the delta report. figures maps emitted file bases (e.g. "figure6_ipc_90nm")
+// to their series sets; reference points with no emitted counterpart are
+// reported as missing (and gate when structural), while emitted points the
+// table does not reference are ignored — the table bounds what it covers.
+func DiffRef(t *RefTable, figures map[string]*SeriesSet) *RefReport {
+	rep := &RefReport{Source: t.Source}
+	for _, fig := range t.Figures {
+		ss := figures[fig.Figure]
+		for _, ser := range fig.Series {
+			var emitted *Series
+			if ss != nil {
+				emitted = ss.Find(ser.Name)
+			}
+			for _, pt := range ser.Points {
+				d := RefDelta{
+					Figure: fig.Figure, Series: ser.Name, X: pt.X,
+					Expected: pt.Value, Band: pt.Band(),
+					Structural: ser.Structural, CIVerdict: CIVerdictNA,
+				}
+				x, ok := findLabel(ss, emitted, pt.X)
+				if !ok {
+					d.Missing = true
+					rep.MissingPoints++
+				} else {
+					d.Actual = emitted.YAt(x)
+					d.AbsDelta = math.Abs(d.Actual - d.Expected)
+					if d.Expected != 0 {
+						d.RelDelta = d.AbsDelta / math.Abs(d.Expected)
+					}
+					d.InBand = d.AbsDelta <= d.Band
+					if n, _, ci := emitted.StatAt(x); n > 1 {
+						d.N, d.CI95 = n, ci
+						if d.AbsDelta <= ci {
+							d.CIVerdict = CIVerdictWithin
+						} else {
+							d.CIVerdict = CIVerdictOutside
+						}
+					}
+				}
+				rep.Points++
+				if !d.InBand {
+					rep.OutOfBand++
+					if d.Structural {
+						rep.StructuralViolations++
+					}
+				}
+				rep.Deltas = append(rep.Deltas, d)
+			}
+		}
+	}
+	return rep
+}
+
+// findLabel resolves a reference point's x label to the emitted series' x
+// value. Labels compare in SeriesSet.Label form, so categorical figures
+// match by category name and numeric axes by numeric rendering.
+func findLabel(ss *SeriesSet, s *Series, label string) (float64, bool) {
+	if ss == nil || s == nil {
+		return 0, false
+	}
+	for _, x := range s.X {
+		if ss.Label(x) == label {
+			return x, true
+		}
+	}
+	return 0, false
+}
+
+// Gate returns a non-nil error when the report holds structural out-of-band
+// deltas (missing structural points included) — the condition that must
+// fail a CI fidelity run.
+func (r *RefReport) Gate() error {
+	if r.StructuralViolations == 0 {
+		return nil
+	}
+	return fmt.Errorf("stats: paper-ref gate: %d structural delta(s) out of tolerance (%d points compared, %d out of band, %d missing)",
+		r.StructuralViolations, r.Points, r.OutOfBand, r.MissingPoints)
+}
+
+// JSON encodes the report (indented, trailing newline).
+func (r *RefReport) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("stats: encoding delta report: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteCSV renders the report as CSV, one row per delta.
+func (r *RefReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	fmtF := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	if err := cw.Write([]string{
+		"figure", "series", "x", "expected", "actual",
+		"abs_delta", "rel_delta", "band", "in_band",
+		"missing", "structural", "n", "ci95", "ci_verdict",
+	}); err != nil {
+		return fmt.Errorf("stats: writing delta report CSV: %w", err)
+	}
+	for _, d := range r.Deltas {
+		row := []string{
+			d.Figure, d.Series, d.X, fmtF(d.Expected), fmtF(d.Actual),
+			fmtF(d.AbsDelta), fmtF(d.RelDelta), fmtF(d.Band),
+			strconv.FormatBool(d.InBand), strconv.FormatBool(d.Missing),
+			strconv.FormatBool(d.Structural), strconv.Itoa(d.N),
+			fmtF(d.CI95), d.CIVerdict,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("stats: writing delta report CSV: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("stats: writing delta report CSV: %w", err)
+	}
+	return nil
+}
+
+// WriteFiles persists the report as <base>.json and <base>.csv.
+func (r *RefReport) WriteFiles(base string) error {
+	data, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(base+".json", data, 0o644); err != nil {
+		return fmt.Errorf("stats: writing %s.json: %w", base, err)
+	}
+	f, err := os.Create(base + ".csv")
+	if err != nil {
+		return fmt.Errorf("stats: writing %s.csv: %w", base, err)
+	}
+	if err := r.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("stats: writing %s.csv: %w", base, err)
+	}
+	return nil
+}
+
+// Summary renders the one-line outcome the CLI prints: counts plus gate
+// status.
+func (r *RefReport) Summary() string {
+	status := "pass"
+	if r.StructuralViolations > 0 {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("paper-ref: %d points vs %s: %d out of band (%d structural, %d missing) — %s",
+		r.Points, r.Source, r.OutOfBand, r.StructuralViolations, r.MissingPoints, status)
+}

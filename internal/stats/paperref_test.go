@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// refFixture builds a table and a matching emitted-figure map: one labelled
+// figure ("fig6") whose series "clgp" holds two points.
+func refFixture() (*RefTable, map[string]*SeriesSet) {
+	table := &RefTable{
+		Version: 1, Source: "test",
+		Figures: []RefFigure{{
+			Figure: "fig6",
+			Series: []RefSeries{{
+				Name: "clgp", Structural: true,
+				Points: []RefPoint{
+					{X: "gzip", Value: 1.0, RelTol: 0.10},
+					{X: "mcf", Value: 0.5, RelTol: 0.10},
+				},
+			}},
+		}},
+	}
+	ss := &SeriesSet{Title: "fig6", XLabel: "benchmark", YLabel: "IPC", Labels: []string{"gzip", "mcf"}}
+	s := ss.Ensure("clgp")
+	s.Add(0, 1.02) // gzip: within 10% of 1.0
+	s.Add(1, 0.52) // mcf: within 10% of 0.5
+	return table, map[string]*SeriesSet{"fig6": ss}
+}
+
+func TestDiffRefInBand(t *testing.T) {
+	table, figures := refFixture()
+	rep := DiffRef(table, figures)
+	if rep.Points != 2 || rep.OutOfBand != 0 || rep.StructuralViolations != 0 || rep.MissingPoints != 0 {
+		t.Fatalf("report %+v, want 2 in-band points", rep)
+	}
+	if err := rep.Gate(); err != nil {
+		t.Errorf("in-band report must pass the gate: %v", err)
+	}
+	d := rep.Deltas[0]
+	if !d.InBand || math.Abs(d.AbsDelta-0.02) > 1e-12 || math.Abs(d.RelDelta-0.02) > 1e-12 {
+		t.Errorf("delta %+v, want in-band abs 0.02 rel 0.02", d)
+	}
+	if d.CIVerdict != CIVerdictNA {
+		t.Errorf("single-seed delta has CI verdict %q, want %q", d.CIVerdict, CIVerdictNA)
+	}
+	if !strings.Contains(rep.Summary(), "pass") {
+		t.Errorf("summary %q does not say pass", rep.Summary())
+	}
+}
+
+func TestDiffRefOutOfBandGates(t *testing.T) {
+	table, figures := refFixture()
+	figures["fig6"].Find("clgp").Y[0] = 1.5 // 50% off a 10% band
+	rep := DiffRef(table, figures)
+	if rep.OutOfBand != 1 || rep.StructuralViolations != 1 {
+		t.Fatalf("report %+v, want one structural violation", rep)
+	}
+	if err := rep.Gate(); err == nil {
+		t.Error("structural out-of-band delta must fail the gate")
+	}
+
+	// The same delta on an advisory series is reported but never gates.
+	table.Figures[0].Series[0].Structural = false
+	rep = DiffRef(table, figures)
+	if rep.OutOfBand != 1 || rep.StructuralViolations != 0 {
+		t.Fatalf("advisory report %+v, want out-of-band without violation", rep)
+	}
+	if err := rep.Gate(); err != nil {
+		t.Errorf("advisory delta must pass the gate: %v", err)
+	}
+}
+
+func TestDiffRefMissingPoints(t *testing.T) {
+	table, figures := refFixture()
+	// A reference point the emission lacks: absent series, absent figure
+	// and absent x label all count as missing (and gate when structural).
+	table.Figures[0].Series[0].Points = append(table.Figures[0].Series[0].Points,
+		RefPoint{X: "crafty", Value: 0.9, RelTol: 0.10})
+	rep := DiffRef(table, figures)
+	if rep.MissingPoints != 1 || rep.StructuralViolations != 1 {
+		t.Fatalf("report %+v, want one missing structural point", rep)
+	}
+	if err := rep.Gate(); err == nil {
+		t.Error("missing structural point must fail the gate")
+	}
+	rep = DiffRef(table, map[string]*SeriesSet{})
+	if rep.MissingPoints != 3 || rep.Points != 3 {
+		t.Fatalf("empty emission report %+v, want all 3 points missing", rep)
+	}
+}
+
+func TestDiffRefCIVerdict(t *testing.T) {
+	table, _ := refFixture()
+	ss := &SeriesSet{Title: "fig6", XLabel: "benchmark", YLabel: "IPC", Labels: []string{"gzip", "mcf"}}
+	s := ss.Ensure("clgp")
+	// gzip: mean 1.02 with a CI wide enough to cover the expected 1.0.
+	s.AddStat(0, fold([]float64{0.92, 1.12}))
+	// mcf: mean 0.52, tight CI that excludes 0.5 but stays in band.
+	s.AddStat(1, fold([]float64{0.5199, 0.5201, 0.52}))
+	rep := DiffRef(table, map[string]*SeriesSet{"fig6": ss})
+	if rep.OutOfBand != 0 {
+		t.Fatalf("report %+v, want all in band", rep)
+	}
+	if d := rep.Deltas[0]; d.CIVerdict != CIVerdictWithin || d.N != 2 || d.CI95 == 0 {
+		t.Errorf("gzip delta %+v, want %q with n=2", d, CIVerdictWithin)
+	}
+	if d := rep.Deltas[1]; d.CIVerdict != CIVerdictOutside || d.N != 3 {
+		t.Errorf("mcf delta %+v, want %q with n=3", d, CIVerdictOutside)
+	}
+}
+
+func TestRefReportCSV(t *testing.T) {
+	table, figures := refFixture()
+	rep := DiffRef(table, figures)
+	var buf strings.Builder
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 deltas:\n%s", len(lines), buf.String())
+	}
+	if want := "figure,series,x,expected,actual,abs_delta,rel_delta,band,in_band,missing,structural,n,ci95,ci_verdict"; lines[0] != want {
+		t.Errorf("CSV header %q, want %q", lines[0], want)
+	}
+	if !strings.HasPrefix(lines[1], "fig6,clgp,gzip,1,1.02,") {
+		t.Errorf("CSV delta row %q", lines[1])
+	}
+}
+
+// TestRefTableFromFiguresRoundTrip: a captured table re-parses and diffs
+// clean against the very emission it was captured from.
+func TestRefTableFromFiguresRoundTrip(t *testing.T) {
+	_, figures := refFixture()
+	table, err := RefTableFromFigures([]string{"fig6"}, figures, 0.05, 0.005, "src", "gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := table.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseRefTable(data)
+	if err != nil {
+		t.Fatalf("captured table does not re-parse: %v", err)
+	}
+	rep := DiffRef(back, figures)
+	if rep.Points != 2 || rep.OutOfBand != 0 {
+		t.Fatalf("self-diff report %+v, want 2 clean points", rep)
+	}
+	if err := rep.Gate(); err != nil {
+		t.Errorf("self-diff must pass the gate: %v", err)
+	}
+	if !back.Figures[0].Series[0].Structural {
+		t.Error("captured series must default to structural")
+	}
+	// Near-zero expected values still get a usable band via the floor.
+	figures["fig6"].Find("clgp").Y[0] = 0
+	zt, err := RefTableFromFigures([]string{"fig6"}, figures, 0.05, 0.005, "src", "gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if band := zt.Figures[0].Series[0].Points[0].Band(); band != 0.005 {
+		t.Errorf("zero-valued point band %v, want the 0.005 floor", band)
+	}
+}
+
+func validRefJSON() string {
+	return `{
+  "version": 1,
+  "source": "test",
+  "figures": [
+    {
+      "figure": "fig6",
+      "series": [
+        {
+          "name": "clgp",
+          "structural": true,
+          "points": [
+            {"x": "gzip", "value": 1.0, "rel_tol": 0.1},
+            {"x": "mcf", "value": 0.5, "rel_tol": 0.1, "abs_tol": 0.01}
+          ]
+        }
+      ]
+    }
+  ]
+}`
+}
+
+// TestParseRefTableRejectsCorruption: every malformed shape must fail
+// loudly at load time, never gate against garbage.
+func TestParseRefTableRejectsCorruption(t *testing.T) {
+	if _, err := ParseRefTable([]byte(validRefJSON())); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	cases := map[string]string{
+		"empty":            ``,
+		"not json":         `hello`,
+		"truncated":        validRefJSON()[:40],
+		"trailing garbage": validRefJSON() + `{"more": 1}`,
+		"unknown field":    strings.Replace(validRefJSON(), `"source"`, `"sauce"`, 1),
+		"wrong version":    strings.Replace(validRefJSON(), `"version": 1`, `"version": 2`, 1),
+		"missing source":   strings.Replace(validRefJSON(), `"source": "test",`, ``, 1),
+		"no figures":       `{"version": 1, "source": "t", "figures": []}`,
+		"unnamed figure":   strings.Replace(validRefJSON(), `"figure": "fig6"`, `"figure": ""`, 1),
+		"unnamed series":   strings.Replace(validRefJSON(), `"name": "clgp"`, `"name": ""`, 1),
+		"no points":        `{"version": 1, "source": "t", "figures": [{"figure": "f", "series": [{"name": "s", "points": []}]}]}`,
+		"unlabelled point": strings.Replace(validRefJSON(), `"x": "gzip"`, `"x": ""`, 1),
+		"duplicate point":  strings.Replace(validRefJSON(), `"x": "mcf"`, `"x": "gzip"`, 1),
+		"negative tol":     strings.Replace(validRefJSON(), `"rel_tol": 0.1}`, `"rel_tol": -0.1}`, 1),
+		"zero-width band":  strings.Replace(validRefJSON(), `"rel_tol": 0.1}`, `"rel_tol": 0}`, 1),
+		"non-finite value": strings.Replace(validRefJSON(), `"value": 1.0`, `"value": 1e999`, 1),
+		"duplicate figure": `{"version": 1, "source": "t", "figures": [{"figure": "f", "series": [{"name": "s", "points": [{"x": "a", "value": 1, "abs_tol": 1}]}]}, {"figure": "f", "series": [{"name": "s", "points": [{"x": "a", "value": 1, "abs_tol": 1}]}]}]}`,
+		"duplicate series": `{"version": 1, "source": "t", "figures": [{"figure": "f", "series": [{"name": "s", "points": [{"x": "a", "value": 1, "abs_tol": 1}]}, {"name": "s", "points": [{"x": "b", "value": 1, "abs_tol": 1}]}]}]}`,
+	}
+	for name, data := range cases {
+		if _, err := ParseRefTable([]byte(data)); err == nil {
+			t.Errorf("%s: corrupt table accepted", name)
+		}
+	}
+}
+
+// FuzzPaperRef mirrors tracefile's FuzzOpen: whatever bytes arrive, the
+// parser must never panic, and any table it does accept must be internally
+// consistent enough to re-encode, re-parse and diff.
+func FuzzPaperRef(f *testing.F) {
+	valid := validRefJSON()
+	f.Add([]byte(valid))
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version": 1}`))
+	f.Add([]byte(valid[:len(valid)/2]))
+	f.Add([]byte(valid + valid))
+	f.Add([]byte(strings.Replace(valid, `"value": 1.0`, `"value": -1.0e308`, 1)))
+	f.Add([]byte(`[1, 2, 3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		table, err := ParseRefTable(data)
+		if err != nil {
+			return
+		}
+		out, err := table.JSON()
+		if err != nil {
+			t.Fatalf("accepted table does not re-encode: %v", err)
+		}
+		if _, err := ParseRefTable(out); err != nil {
+			t.Fatalf("re-encoded table does not re-parse: %v", err)
+		}
+		// Diffing against an empty emission must report every point missing,
+		// never panic.
+		rep := DiffRef(table, nil)
+		if rep.MissingPoints != rep.Points {
+			t.Fatalf("empty emission: %d of %d points missing", rep.MissingPoints, rep.Points)
+		}
+	})
+}

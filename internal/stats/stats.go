@@ -481,14 +481,53 @@ type Series struct {
 	Name string
 	// X holds the swept parameter values (e.g. cache sizes in bytes).
 	X []float64
-	// Y holds the measured values (e.g. IPC).
+	// Y holds the measured values (e.g. IPC). On a replicated series Y is
+	// the per-point mean over the seed replicates.
 	Y []float64
+
+	// N, Stddev and CI95 are the replication columns, parallel to X/Y: the
+	// replicate count, sample standard deviation and 95% confidence
+	// half-width (t-distribution) of each point's mean. They are nil on
+	// single-seed series — points appended with Add — so single-seed
+	// serialisation stays byte-identical to the pre-replication format.
+	N      []int
+	Stddev []float64
+	CI95   []float64
 }
 
 // Add appends a point to the series.
 func (s *Series) Add(x, y float64) {
 	s.X = append(s.X, x)
 	s.Y = append(s.Y, y)
+}
+
+// AddStat appends a replicated point: the accumulator's mean becomes the y
+// value and its spread fills the replication columns. Mixing Add and AddStat
+// on one series would desynchronise the parallel arrays, so a series is
+// either fully replicated or not at all (Replicated reports which).
+func (s *Series) AddStat(x float64, w Welford) {
+	s.Add(x, w.Mean)
+	s.N = append(s.N, w.Count)
+	s.Stddev = append(s.Stddev, w.Stddev())
+	s.CI95 = append(s.CI95, w.CI95Half())
+}
+
+// Replicated reports whether the series carries replication columns.
+func (s *Series) Replicated() bool { return len(s.N) > 0 }
+
+// StatAt returns the replication columns for the given x: replicate count,
+// sample stddev and 95% CI half-width. It returns zeros when x is absent or
+// the series is not replicated.
+func (s *Series) StatAt(x float64) (n int, stddev, ci95 float64) {
+	if !s.Replicated() {
+		return 0, 0, 0
+	}
+	for i, xv := range s.X {
+		if xv == x && i < len(s.N) {
+			return s.N[i], s.Stddev[i], s.CI95[i]
+		}
+	}
+	return 0, 0, 0
 }
 
 // YAt returns the y value for the given x, or NaN if x is absent.
@@ -554,9 +593,13 @@ func (ss *SeriesSet) Table(xFormat func(float64) string) *Table {
 		row := []string{xFormat(x)}
 		for _, s := range ss.Series {
 			y := s.YAt(x)
-			if math.IsNaN(y) {
+			switch {
+			case math.IsNaN(y):
 				row = append(row, "-")
-			} else {
+			case s.Replicated():
+				n, _, ci := s.StatAt(x)
+				row = append(row, fmt.Sprintf("%.4f±%.4f(n=%d)", y, ci, n))
+			default:
 				row = append(row, fmt.Sprintf("%.4f", y))
 			}
 		}

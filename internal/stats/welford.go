@@ -1,0 +1,100 @@
+package stats
+
+import "math"
+
+// This file is the replication-statistics half of the package: a streaming
+// Welford accumulator and the small-sample t-distribution quantiles the
+// figure harness uses to attach N/mean/stddev/95%-CI columns to multi-seed
+// series. The estimators are the textbook ones — sample (N-1) variance,
+// t-based confidence half-width — because replicate counts are small (3..10
+// seeds) and the normal approximation would understate the interval there.
+
+// Welford accumulates a stream of observations into mean and variance in one
+// pass (Welford's online algorithm): numerically stable for any magnitude,
+// no stored samples. The zero value is an empty accumulator. Observations
+// must be folded in a deterministic order when bit-reproducible aggregates
+// are required (floating-point addition is not associative); the dispatch
+// merge layer folds replicates in replicate order for exactly that reason.
+type Welford struct {
+	// Count is the number of observations folded in.
+	Count int
+	// Mean is the running mean (0 when empty).
+	Mean float64
+	// M2 is the running sum of squared deviations from the mean.
+	M2 float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.Count++
+	delta := x - w.Mean
+	w.Mean += delta / float64(w.Count)
+	w.M2 += delta * (x - w.Mean)
+}
+
+// Variance returns the sample (N-1) variance, or 0 with fewer than two
+// observations — a single replicate has no spread estimate.
+func (w Welford) Variance() float64 {
+	if w.Count < 2 {
+		return 0
+	}
+	return w.M2 / float64(w.Count-1)
+}
+
+// Stddev returns the sample standard deviation (0 with fewer than two
+// observations).
+func (w Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean, Stddev/sqrt(N) (0 with
+// fewer than two observations).
+func (w Welford) StdErr() float64 {
+	if w.Count < 2 {
+		return 0
+	}
+	return w.Stddev() / math.Sqrt(float64(w.Count))
+}
+
+// CI95Half returns the half-width of the two-sided 95% confidence interval
+// of the mean, t(0.975, N-1) * Stddev/sqrt(N), using the Student
+// t-distribution so small replicate counts widen the interval honestly
+// (N=2 carries t=12.706, not 1.96). With fewer than two observations there
+// is no interval and the half-width is 0.
+func (w Welford) CI95Half() float64 {
+	if w.Count < 2 {
+		return 0
+	}
+	return TQuantile975(w.Count-1) * w.StdErr()
+}
+
+// tTable975 holds the two-sided 95% (upper 97.5%) Student-t critical values
+// for 1..30 degrees of freedom.
+var tTable975 = [30]float64{
+	12.7062, 4.30265, 3.18245, 2.77645, 2.57058,
+	2.44691, 2.36462, 2.30600, 2.26216, 2.22814,
+	2.20099, 2.17881, 2.16037, 2.14479, 2.13145,
+	2.11991, 2.10982, 2.10092, 2.09302, 2.08596,
+	2.07961, 2.07387, 2.06866, 2.06390, 2.05954,
+	2.05553, 2.05183, 2.04841, 2.04523, 2.04227,
+}
+
+// tInf is the normal-limit critical value the t quantile converges to.
+const tInf = 1.959964
+
+// TQuantile975 returns the upper 97.5% quantile of the Student
+// t-distribution with df degrees of freedom (the two-sided 95% critical
+// value). df 1..30 are exact table values; beyond 30 a monotone 1/df
+// interpolation toward the normal limit is used, which is within 0.004 of
+// the true quantile everywhere (replicate counts that large make the
+// difference irrelevant anyway). df < 1 has no interval; it returns +Inf so
+// a misuse is visible instead of silently narrow.
+func TQuantile975(df int) float64 {
+	switch {
+	case df < 1:
+		return math.Inf(1)
+	case df <= len(tTable975):
+		return tTable975[df-1]
+	default:
+		last := tTable975[len(tTable975)-1]
+		return tInf + (last-tInf)*float64(len(tTable975))/float64(df)
+	}
+}

@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// closedForm computes mean and sample variance the two-pass textbook way,
+// the oracle the streaming accumulator is held to.
+func closedForm(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	return mean, variance / float64(len(xs)-1)
+}
+
+func fold(xs []float64) Welford {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w
+}
+
+func TestWelfordMatchesClosedForm(t *testing.T) {
+	// The classic worked example: mean 5, sample variance 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	w := fold(xs)
+	mean, variance := closedForm(xs)
+	if w.Count != len(xs) {
+		t.Fatalf("count %d, want %d", w.Count, len(xs))
+	}
+	if math.Abs(w.Mean-mean) > 1e-12 || math.Abs(mean-5) > 1e-12 {
+		t.Errorf("mean %v, want %v", w.Mean, mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-12 || math.Abs(variance-32.0/7) > 1e-12 {
+		t.Errorf("variance %v, want %v", w.Variance(), variance)
+	}
+	if math.Abs(w.Stddev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("stddev %v, want %v", w.Stddev(), math.Sqrt(32.0/7))
+	}
+}
+
+// TestWelfordClosedFormProperty sweeps deterministic pseudo-random streams of
+// many lengths and magnitudes against the two-pass oracle.
+func TestWelfordClosedFormProperty(t *testing.T) {
+	state := uint64(42)
+	next := func() float64 {
+		// xorshift64: deterministic, no seeding dependency on the host.
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(state%100000)/1000 - 50
+	}
+	for _, n := range []int{1, 2, 3, 5, 10, 100, 1000} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = next()
+		}
+		w := fold(xs)
+		mean, variance := closedForm(xs)
+		if math.Abs(w.Mean-mean) > 1e-9*(1+math.Abs(mean)) {
+			t.Errorf("n=%d: mean %v, want %v", n, w.Mean, mean)
+		}
+		if math.Abs(w.Variance()-variance) > 1e-9*(1+variance) {
+			t.Errorf("n=%d: variance %v, want %v", n, w.Variance(), variance)
+		}
+	}
+}
+
+// TestWelfordSingleObservation: one replicate has a mean but no spread and
+// no interval — never a fake zero-width CI, an absent one.
+func TestWelfordSingleObservation(t *testing.T) {
+	var w Welford
+	w.Add(3.25)
+	if w.Mean != 3.25 || w.Count != 1 {
+		t.Fatalf("got mean %v count %d", w.Mean, w.Count)
+	}
+	if w.Variance() != 0 || w.Stddev() != 0 || w.StdErr() != 0 || w.CI95Half() != 0 {
+		t.Errorf("N=1 must carry no spread: var=%v sd=%v se=%v ci=%v",
+			w.Variance(), w.Stddev(), w.StdErr(), w.CI95Half())
+	}
+}
+
+// TestWelfordTwoObservations: the N=2 interval must use the df=1 t critical
+// value 12.7062, not the normal 1.96 — the honesty the t-distribution buys
+// at small replicate counts.
+func TestWelfordTwoObservations(t *testing.T) {
+	w := fold([]float64{1, 3})
+	if w.Mean != 2 {
+		t.Fatalf("mean %v, want 2", w.Mean)
+	}
+	if got, want := w.Stddev(), math.Sqrt2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("stddev %v, want %v", got, want)
+	}
+	if got, want := w.StdErr(), 1.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("stderr %v, want %v", got, want)
+	}
+	if got, want := w.CI95Half(), 12.7062; math.Abs(got-want) > 1e-9 {
+		t.Errorf("CI95 half-width %v, want t(0.975,1)=%v", got, want)
+	}
+}
+
+func TestTQuantile975(t *testing.T) {
+	if !math.IsInf(TQuantile975(0), 1) || !math.IsInf(TQuantile975(-3), 1) {
+		t.Errorf("df<1 must return +Inf, got %v / %v", TQuantile975(0), TQuantile975(-3))
+	}
+	golden := map[int]float64{1: 12.7062, 2: 4.30265, 10: 2.22814, 30: 2.04227}
+	for df, want := range golden {
+		if got := TQuantile975(df); got != want {
+			t.Errorf("TQuantile975(%d) = %v, want %v", df, got, want)
+		}
+	}
+	// Beyond the table: strictly decreasing toward (and never below) the
+	// normal limit, and close to the true quantile at large df.
+	prev := TQuantile975(30)
+	for df := 31; df <= 2000; df++ {
+		got := TQuantile975(df)
+		if got >= prev || got < tInf {
+			t.Fatalf("TQuantile975(%d) = %v not monotone in (%v, %v]", df, got, tInf, prev)
+		}
+		prev = got
+	}
+	if got := TQuantile975(1000); math.Abs(got-1.96234) > 0.004 {
+		t.Errorf("TQuantile975(1000) = %v, want ~1.96234", got)
+	}
+}
+
+// TestSeriesReplicationColumns: AddStat populates the per-point replication
+// columns, StatAt reads them back, and Add-only series stay bare.
+func TestSeriesReplicationColumns(t *testing.T) {
+	var s Series
+	s.Name = "a"
+	s.AddStat(1, fold([]float64{1, 3}))
+	s.AddStat(2, fold([]float64{5, 5, 5}))
+	if !s.Replicated() {
+		t.Fatal("AddStat series must report replicated")
+	}
+	if n, sd, ci := s.StatAt(1); n != 2 || math.Abs(sd-math.Sqrt2) > 1e-12 || math.Abs(ci-12.7062) > 1e-9 {
+		t.Errorf("StatAt(1) = %d %v %v", n, sd, ci)
+	}
+	if n, sd, ci := s.StatAt(2); n != 3 || sd != 0 || ci != 0 {
+		t.Errorf("StatAt(2) = %d %v %v, want 3 replicates with zero spread", n, sd, ci)
+	}
+	if n, _, _ := s.StatAt(99); n != 0 {
+		t.Errorf("StatAt of an absent x returned n=%d", n)
+	}
+
+	var bare Series
+	bare.Add(1, 2)
+	if bare.Replicated() {
+		t.Error("Add-only series must not report replicated")
+	}
+	if n, sd, ci := bare.StatAt(1); n != 0 || sd != 0 || ci != 0 {
+		t.Errorf("bare StatAt = %d %v %v, want zeros", n, sd, ci)
+	}
+}
+
+// TestSingleSeedSerialisationByteCompat pins the exact bytes single-seed
+// emission produces: no replication keys in JSON, no extra CSV columns —
+// the format predating the seed axis, byte for byte.
+func TestSingleSeedSerialisationByteCompat(t *testing.T) {
+	ss := &SeriesSet{Title: "t", XLabel: "x", YLabel: "y"}
+	ss.Ensure("a").Add(1, 2)
+	ss.Ensure("a").Add(4, 0.5)
+
+	data, err := ss.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := `{
+  "title": "t",
+  "x_label": "x",
+  "y_label": "y",
+  "series": [
+    {
+      "name": "a",
+      "x": [
+        1,
+        4
+      ],
+      "y": [
+        2,
+        0.5
+      ]
+    }
+  ]
+}
+`
+	if string(data) != wantJSON {
+		t.Errorf("single-seed JSON drifted from the pre-replication format:\n%s\nwant:\n%s", data, wantJSON)
+	}
+
+	var csvBuf strings.Builder
+	if err := ss.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if want := "x,a\n1,2\n4,0.5\n"; csvBuf.String() != want {
+		t.Errorf("single-seed CSV drifted: %q, want %q", csvBuf.String(), want)
+	}
+}
+
+// TestReplicatedSerialisationRoundTrip: replicated series self-describe in
+// both formats and survive the JSON round trip intact.
+func TestReplicatedSerialisationRoundTrip(t *testing.T) {
+	ss := &SeriesSet{Title: "t", XLabel: "x", YLabel: "y"}
+	ss.Ensure("a").AddStat(1, fold([]float64{1, 3}))
+	ss.Ensure("b").Add(1, 7) // a bare series alongside a replicated one
+
+	data, err := ss.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := SeriesSetFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := back.Find("a")
+	if a == nil || !a.Replicated() {
+		t.Fatalf("replicated series lost its columns across JSON: %+v", a)
+	}
+	if n, sd, ci := a.StatAt(1); n != 2 || math.Abs(sd-math.Sqrt2) > 1e-12 || math.Abs(ci-12.7062) > 1e-9 {
+		t.Errorf("round-tripped StatAt = %d %v %v", n, sd, ci)
+	}
+	if b := back.Find("b"); b == nil || b.Replicated() {
+		t.Errorf("bare series grew replication columns across JSON: %+v", b)
+	}
+
+	var csvBuf strings.Builder
+	if err := ss.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if want := "x,a,a_n,a_stddev,a_ci95,b"; lines[0] != want {
+		t.Errorf("replicated CSV header %q, want %q", lines[0], want)
+	}
+	if !strings.HasPrefix(lines[1], "1,2,2,") {
+		t.Errorf("replicated CSV row %q, want mean 2 with n=2", lines[1])
+	}
+}
