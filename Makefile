@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke bench-gate run sweep figures stream-smoke remote-smoke clean
+.PHONY: all build test test-race vet bench bench-smoke bench-gate run sweep figures stream-smoke remote-smoke snapshot-smoke clean
 
 all: vet build test
 
@@ -75,6 +75,24 @@ remote-smoke:
 			-store "http://$$(cat addr.txt)" -exec -retries 2 -dir fig-remote -json BENCH_dispatch.json && \
 		diff fig-local/figure6_ipc_90nm.csv fig-remote/figure6_ipc_90nm.csv
 	@echo "remote-smoke: object-store sweep matches in-process run"
+
+# Warm-state snapshots end to end: a cold figures sweep records warm-state
+# artifacts into the store, a second sweep over the same store restores them,
+# and the emitted figure CSVs must be byte-identical to a sweep that never
+# snapshotted at all. Mirrors CI's snapshot-smoke job.
+snapshot-smoke:
+	rm -rf /tmp/clgp-snapshot-smoke && mkdir -p /tmp/clgp-snapshot-smoke
+	$(GO) build -o /tmp/clgp-snapshot-smoke/clgpsim ./cmd/clgpsim
+	cd /tmp/clgp-snapshot-smoke && ./clgpsim figures -insts 20000 -profiles gzip,mcf -dir fig-plain
+	cd /tmp/clgp-snapshot-smoke && ./clgpsim figures -insts 20000 -profiles gzip,mcf -warmup 10000 -dir fig-cold
+	test -n "$$(ls /tmp/clgp-snapshot-smoke/fig-cold/snapshots)"
+	cd /tmp/clgp-snapshot-smoke && cp -r fig-cold fig-warm && rm -rf fig-warm/shards && \
+		./clgpsim figures -insts 20000 -profiles gzip,mcf -warmup 10000 -dir fig-warm -resume
+	cd /tmp/clgp-snapshot-smoke && \
+		diff fig-plain/figure6_ipc_90nm.csv fig-cold/figure6_ipc_90nm.csv && \
+		diff fig-plain/figure6_ipc_90nm.csv fig-warm/figure6_ipc_90nm.csv && \
+		diff fig-plain/figure1_ipc_vs_l1_90nm.csv fig-warm/figure1_ipc_vs_l1_90nm.csv
+	@echo "snapshot-smoke: cold-recording and warm-restoring sweeps match the plain run"
 
 clean:
 	$(GO) clean ./...

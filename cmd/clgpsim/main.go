@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	clgpsim run     [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0] [-tracefile F -window N] [-no-skip] [-cpuprofile F] [-memprofile F] [-runtime-trace F]
-//	clgpsim sweep   [-profile gcc] [-insts 200000] [-seeds N] [-tech 90] [-workers 0] [-json BENCH_sweep.json] [-tracefile F -window N] [-store URL] [-cpuprofile F] [-memprofile F] [-metrics-addr A [-metrics-addr-file F]]
+//	clgpsim run     [-profile gcc] [-insts 200000] [-engine clgp] [-tech 90] [-l1 2048] [-l0] [-pb 0] [-tracefile F -window N] [-no-skip] [-warmup N -snapshot-dir D] [-cpuprofile F] [-memprofile F] [-runtime-trace F]
+//	clgpsim sweep   [-profile gcc] [-insts 200000] [-seeds N] [-tech 90] [-workers 0] [-json BENCH_sweep.json] [-tracefile F -window N] [-store URL] [-warmup N [-snapshot-dir D]] [-cpuprofile F] [-memprofile F] [-metrics-addr A [-metrics-addr-file F]]
 //	clgpsim bench   [-profile gcc] [-insts 100000] [-workers 0] [-json BENCH_clgpsim.json] [-grid=t|f] [-core-json BENCH_core.json] [-core-insts 200000] [-gate BASELINE.json] [-max-regress 0.10]
-//	clgpsim figures [-insts 200000] [-seeds N] [-techs 90,45] [-profiles ...] [-dir clgp-figures] [-shards 0] [-exec] [-resume] [-store URL] [-ssh h1,h2] [-retries 1] [-paper-ref refs/paper_ref.json] [-write-ref F] [-progress] [-stall-after D] [-trace-out F] [-metrics-addr A [-metrics-addr-file F]]
+//	clgpsim figures [-insts 200000] [-seeds N] [-techs 90,45] [-profiles ...] [-dir clgp-figures] [-shards 0] [-exec] [-resume] [-store URL] [-ssh h1,h2] [-retries 1] [-warmup N] [-paper-ref refs/paper_ref.json] [-write-ref F] [-progress] [-stall-after D] [-trace-out F] [-metrics-addr A [-metrics-addr-file F]]
 //	clgpsim worker  -store LOC -shard N [-workers 0] [-heartbeat 2s] [-metrics-addr A [-metrics-addr-file F]] [-span-parent ID] [-runtime-trace F]
 //	clgpsim store   serve [-dir clgp-store] [-addr 127.0.0.1:8420] [-addr-file F]
 //	clgpsim trace   record|info|slice|bench ...
@@ -181,6 +181,8 @@ func cmdRun(args []string) error {
 	traceFile := fs.String("tracefile", "", "stream the trace from this recorded container (overrides -profile/-insts/-seed)")
 	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
 	noSkip := fs.Bool("no-skip", false, "tick every cycle instead of fast-forwarding over event horizons (bit-identical results, reference mode)")
+	warmup := fs.Int("warmup", 0, "warm-state snapshot boundary in committed instructions (0 = off; needs -snapshot-dir)")
+	snapshotDir := fs.String("snapshot-dir", "", "directory warm-state snapshots are restored from / recorded into")
 	cpuProf, memProf := profileFlags(fs)
 	runtimeTrace := runtimeTraceFlag(fs)
 	logSetup := logFlags(fs)
@@ -254,6 +256,17 @@ func cmdRun(args []string) error {
 		return err
 	}
 	start := time.Now()
+	if *warmup > 0 {
+		if *snapshotDir == "" {
+			return fmt.Errorf("run: -warmup %d needs -snapshot-dir (where the warm-state snapshot lives)", *warmup)
+		}
+		j := sim.Job{Config: cfg, Workload: w, Warmup: *warmup,
+			Snapshots: sim.DirSnapshots{Dir: *snapshotDir}}
+		eng, err = j.WarmStart(eng, tr)
+		if err != nil {
+			return err
+		}
+	}
 	r, err := eng.Run()
 	if err != nil {
 		return err
@@ -287,6 +300,8 @@ func cmdSweep(args []string) error {
 	traceFile := fs.String("tracefile", "", "stream every job's trace from this recorded container (its header supplies the workload, overriding -profile/-insts/-seed)")
 	storeFlag := fs.String("store", "", "fetch the streamed trace container from this object store (http(s) URL) by (-profile, -seed) fingerprint")
 	window := fs.Int("window", 0, "resident-record cap when streaming (0 = default)")
+	warmup := fs.Int("warmup", 0, "warm-state snapshot boundary in committed instructions (0 = off); snapshots flow through -snapshot-dir or -store")
+	snapshotDir := fs.String("snapshot-dir", "", "directory warm-state snapshots are shared through (overrides -store for snapshots)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address while the sweep runs (e.g. 127.0.0.1:0)")
 	metricsAddrFile := fs.String("metrics-addr-file", "", "write the bound -metrics-addr listen address to this file")
 	cpuProf, memProf := profileFlags(fs)
@@ -330,6 +345,13 @@ func cmdSweep(args []string) error {
 	if reps > 1 && (*traceFile != "" || *storeFlag != "") {
 		return fmt.Errorf("sweep: -seeds %d needs regenerated workloads; a recorded trace container holds one seed", reps)
 	}
+	// The snapshot store for -warmup: an explicit directory wins; otherwise
+	// the object store doubles as the snapshot backend (dispatch.Store
+	// satisfies sim.SnapshotStore), the same sharing a sharded sweep gets.
+	var snapStore sim.SnapshotStore
+	if *snapshotDir != "" {
+		snapStore = sim.DirSnapshots{Dir: *snapshotDir}
+	}
 	if *storeFlag != "" {
 		// The remote-fetch path: rebuild the program image from the flags,
 		// compute its generation fingerprint, and pull the matching
@@ -343,6 +365,9 @@ func cmdSweep(args []string) error {
 		}
 		if _, ok := st.(*dispatch.ObjectStore); !ok {
 			return fmt.Errorf("-store %s is not an object-store URL; pass the container path with -tracefile instead", *storeFlag)
+		}
+		if snapStore == nil {
+			snapStore = st
 		}
 		p, err := workload.ProfileByName(*profile)
 		if err != nil {
@@ -394,6 +419,13 @@ func cmdSweep(args []string) error {
 			repJobs[i].Config.Name = repJobs[i].Name
 			repJobs[i].TraceFile = *traceFile
 			repJobs[i].Window = *window
+			if *warmup > 0 {
+				if snapStore == nil {
+					return fmt.Errorf("sweep: -warmup %d needs -snapshot-dir or an object-store -store to share snapshots through", *warmup)
+				}
+				repJobs[i].Warmup = *warmup
+				repJobs[i].Snapshots = snapStore
+			}
 		}
 		jobs = append(jobs, repJobs...)
 	}
@@ -494,6 +526,15 @@ func cmdBench(args []string) error {
 	fmt.Printf("grid_fused: %d lanes: %12.0f cycles/sec fused vs %12.0f streamed (%.2fx), %.2f allocs/kcycle\n",
 		cb.GridFused.Lanes, cb.GridFused.FusedCyclesPerSec, cb.GridFused.StreamedCyclesPerSec,
 		cb.GridFused.SpeedupVsStreamed, cb.GridFused.AllocsPerKCycle)
+	fmt.Printf("snapshot grid bench: %d-point %s grid, %d insts (warm-restore vs cold, warm-up at half)\n",
+		8, *profile, *coreInsts)
+	cb.GridSnapshot, err = sim.MeasureSnapshotGrid(*profile, *coreInsts, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("grid_snapshot: %d points: %12.0f cycles/sec warm vs %12.0f cold (%.2fx), %d artifact bytes\n",
+		cb.GridSnapshot.Points, cb.GridSnapshot.WarmCyclesPerSec, cb.GridSnapshot.ColdCyclesPerSec,
+		cb.GridSnapshot.SpeedupVsCold, cb.GridSnapshot.SnapshotBytes)
 	var baseline *sim.CoreBench
 	if *gatePath != "" {
 		baseline, err = sim.LoadCoreBench(*gatePath)

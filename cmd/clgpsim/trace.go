@@ -132,6 +132,7 @@ func cmdTraceSlice(args []string) error {
 	fs := flag.NewFlagSet("trace slice", flag.ExitOnError)
 	from := fs.Int("from", 0, "first record of the slice")
 	count := fs.Int("count", 0, "records in the slice (0 = through the end)")
+	simpoint := fs.Bool("simpoint", false, "derive -from by basic-block distribution analysis: profile the source in -count-record intervals and slice the most representative one (the paper's SimPoint selection)")
 	out := fs.String("o", "", "output container path (required)")
 	chunk := fs.Int("chunk", 0, "records per chunk of the slice (0 = same as source)")
 	logSetup := logFlags(fs)
@@ -153,6 +154,30 @@ func cmdTraceSlice(args []string) error {
 	hi := src.Len()
 	if *count > 0 {
 		hi = lo + *count
+	}
+	if *simpoint {
+		if *count <= 0 {
+			return fmt.Errorf("trace slice -simpoint needs -count (the SimPoint interval length)")
+		}
+		if *from != 0 {
+			return fmt.Errorf("trace slice -simpoint selects the start itself; drop -from")
+		}
+		recs := make([]trace.Record, src.Len())
+		for i := 0; i < src.Len(); {
+			n, err := src.ReadRecordsAt(i, recs[i:])
+			if err != nil {
+				return err
+			}
+			i += n
+		}
+		sl, best, err := trace.RepresentativeSlice(trace.NewMemTrace(recs), *count)
+		if err != nil {
+			return err
+		}
+		lo = best * *count
+		hi = lo + sl.Len()
+		fmt.Printf("simpoint: interval %d ([%d,%d) of %d records) is closest to the whole-trace basic-block distribution\n",
+			best, lo, hi, src.Len())
 	}
 	if lo < 0 || hi > src.Len() || lo >= hi {
 		return fmt.Errorf("slice [%d,%d) out of range 0..%d", lo, hi, src.Len())

@@ -1,0 +1,51 @@
+package bus
+
+import "clgp/internal/snap"
+
+// stateTag opens the bus arbiter section of a snapshot payload ("BUSA").
+const stateTag uint32 = 0x41535542
+
+// maxQueue bounds a decoded queue length; the real queues hold at most a few
+// tens of in-flight requests, so anything past this is corruption.
+const maxQueue = 1 << 20
+
+// SaveState serialises the arbiter: each class's pending requests in FIFO
+// order plus the grant bookkeeping. Request tags are slot indices into the
+// memory hierarchy's slot table, which the hierarchy preserves positionally
+// across a snapshot, so the tags stay valid verbatim.
+func (a *Arbiter) SaveState(e *snap.Encoder) {
+	e.Tag(stateTag)
+	for cls := range a.queues {
+		q := &a.queues[cls]
+		e.Int(q.n)
+		for i := 0; i < q.n; i++ {
+			r := q.buf[(q.head+i)%len(q.buf)]
+			e.U64(r.Tag)
+			e.U64(r.Enqueued)
+		}
+	}
+	e.U64(a.grants)
+	e.U64(a.conflicts)
+	e.U64(a.lastGrant)
+	e.Bool(a.hasGrant)
+}
+
+// LoadState restores state saved by SaveState into a (fresh) arbiter.
+func (a *Arbiter) LoadState(d *snap.Decoder) {
+	d.Tag(stateTag)
+	for cls := range a.queues {
+		a.queues[cls].reset()
+		n := d.Count(maxQueue)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			a.queues[cls].push(Request{
+				From:     Requester(cls),
+				Tag:      d.U64(),
+				Enqueued: d.U64(),
+			})
+		}
+	}
+	a.grants = d.U64()
+	a.conflicts = d.U64()
+	a.lastGrant = d.U64()
+	a.hasGrant = d.Bool()
+}

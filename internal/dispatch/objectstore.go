@@ -40,6 +40,7 @@ const (
 	traceKeyPrefix     = "traces/"
 	heartbeatKeyPrefix = HeartbeatsDir + "/"
 	spanKeyPrefix      = SpansDir + "/"
+	snapshotKeyPrefix  = SnapshotsDir + "/"
 )
 
 // shardKey returns the object key of a shard's result JSONL.
@@ -368,6 +369,31 @@ func (s *ObjectStore) FetchTrace(name string, fingerprint uint64) (string, error
 		return "", fmt.Errorf("dispatch: trace cache: %w", err)
 	}
 	return local, nil
+}
+
+// SnapshotObjectKey returns the object key a warm-state snapshot artifact is
+// published under. The key argument is already content-addressed
+// (sim.SnapshotKey: fingerprint × warm key × boundary), so the store just
+// namespaces it.
+func SnapshotObjectKey(key string) string { return snapshotKeyPrefix + key }
+
+// FetchSnapshot implements Store (and sim.SnapshotStore): the get path's 404
+// already wraps os.ErrNotExist, which is the miss signal the warm flow
+// treats as "record it yourself".
+func (s *ObjectStore) FetchSnapshot(key string) ([]byte, error) {
+	return s.get(SnapshotObjectKey(key))
+}
+
+// PushSnapshot implements Store. Like PushTrace, the existence probe is an
+// optimisation: snapshot keys are content-addressed, so an artifact that is
+// already there is byte-identical to ours and the upload can be skipped; on
+// "could not check" it simply uploads.
+func (s *ObjectStore) PushSnapshot(key string, data []byte) error {
+	objKey := SnapshotObjectKey(key)
+	if exists, err := s.head(objKey); err == nil && exists {
+		return nil
+	}
+	return s.put(objKey, data)
 }
 
 // PushTrace implements Store: it publishes a local container under its

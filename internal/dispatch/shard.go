@@ -231,6 +231,14 @@ func RunShardSpans(st Store, m *Manifest, id, workers int, onJob func(done, tota
 			// locally resolved copy, not the store-relative reference.
 			jobs[i].TraceFile = cache.tracePath(spec.TraceFile)
 		}
+		if spec.Warmup > 0 && st != nil && !m.Fused {
+			// Warm-state snapshots flow through the sweep store, so workers on
+			// every host share one checkpoint per (fingerprint, warm key,
+			// boundary). Fused shards keep their own amortisation (one decode
+			// stream per workload column) and run warm-up in lockstep instead —
+			// the sim layer rejects combining the two mechanisms.
+			jobs[i].Snapshots = st
+		}
 	}
 	fetch.End()
 	// The workload cache hands every job of a workload the same *Workload

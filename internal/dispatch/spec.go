@@ -48,6 +48,12 @@ type JobSpec struct {
 	Ideal bool `json:"ideal,omitempty"`
 	// MaxInsts bounds committed instructions; 0 simulates the whole trace.
 	MaxInsts int `json:"max_insts,omitempty"`
+	// Warmup is the warm-state snapshot boundary in committed instructions:
+	// jobs sharing a workload fingerprint and warm-configuration key restore
+	// from one checkpoint published through the sweep store instead of each
+	// re-simulating the warm-up prefix. 0 disables snapshotting (omitempty
+	// keeps pre-snapshot manifests' grid hashes unchanged).
+	Warmup int `json:"warmup,omitempty"`
 }
 
 // Validate checks that the spec can be turned into a runnable configuration.
@@ -127,7 +133,7 @@ func (s JobSpec) SimJob(w *workload.Workload) (sim.Job, error) {
 	if err != nil {
 		return sim.Job{}, err
 	}
-	return sim.Job{Name: cfg.Name, Config: cfg, Workload: w, TraceFile: s.TraceFile, Window: s.Window}, nil
+	return sim.Job{Name: cfg.Name, Config: cfg, Workload: w, TraceFile: s.TraceFile, Window: s.Window, Warmup: s.Warmup}, nil
 }
 
 // GridConfig enumerates a paper evaluation grid.
@@ -164,6 +170,10 @@ type GridConfig struct {
 	TraceFile string
 	// Window caps resident records when streaming (0 = default).
 	Window int
+	// Warmup sets every spec's warm-state snapshot boundary in committed
+	// instructions (0 disables snapshotting). Grid points that share a
+	// workload and warm-configuration key then pay warm-up once per sweep.
+	Warmup int
 }
 
 // GridSpecs enumerates the grid deterministically, workload-major (all jobs
@@ -227,6 +237,7 @@ func GridSpecs(gc GridConfig) ([]JobSpec, error) {
 								TraceFile: gc.TraceFile, Window: gc.Window,
 								Tech: tech.String(), Engine: eng.String(),
 								L1Size: size, UseL0: l0, MaxInsts: gc.MaxInsts,
+								Warmup: gc.Warmup,
 							})
 							if err != nil {
 								return nil, err
@@ -241,6 +252,7 @@ func GridSpecs(gc GridConfig) ([]JobSpec, error) {
 							TraceFile: gc.TraceFile, Window: gc.Window,
 							Tech: tech.String(), Engine: core.EngineNone.String(),
 							L1Size: size, Ideal: true, MaxInsts: gc.MaxInsts,
+							Warmup: gc.Warmup,
 						})
 						if err != nil {
 							return nil, err

@@ -79,6 +79,17 @@ type Store interface {
 	// can fetch it by its header fingerprint. Shared-filesystem stores need
 	// no copy and treat this as a no-op.
 	PushTrace(localPath string) error
+
+	// FetchSnapshot returns the warm-state snapshot artifact stored under
+	// key (sim.SnapshotKey form), or an error wrapping os.ErrNotExist when
+	// no worker has published it yet. Together with PushSnapshot this makes
+	// every Store a sim.SnapshotStore, so warm-up sharing spans hosts
+	// through the same backend the sweep's results flow through.
+	FetchSnapshot(key string) ([]byte, error)
+	// PushSnapshot publishes a snapshot artifact atomically. Snapshot bytes
+	// are deterministic, so workers racing on one key commit identical
+	// artifacts and either winner is correct.
+	PushSnapshot(key string, data []byte) error
 }
 
 // DirStore is the shared-directory store backend: the manifest and shard
@@ -199,6 +210,43 @@ func (s *DirStore) FetchTrace(name string, fingerprint uint64) (string, error) {
 
 // PushTrace implements Store: nothing to publish on a shared filesystem.
 func (s *DirStore) PushTrace(localPath string) error { return nil }
+
+// SnapshotsDir is the subdirectory (and object-key prefix) warm-state
+// snapshot artifacts live under.
+const SnapshotsDir = "snapshots"
+
+// FetchSnapshot implements Store (and sim.SnapshotStore): a plain read from
+// the sweep's snapshots directory; os.ReadFile's not-exist error is the miss
+// signal the contract asks for.
+func (s *DirStore) FetchSnapshot(key string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.Dir, SnapshotsDir, key))
+}
+
+// PushSnapshot implements Store: temp + rename, like every other DirStore
+// commit, so a concurrently fetching worker never sees a torn artifact.
+func (s *DirStore) PushSnapshot(key string, data []byte) error {
+	dir := filepath.Join(s.Dir, SnapshotsDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dispatch: creating snapshots directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("dispatch: writing snapshot %s: %w", key, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dispatch: writing snapshot %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("dispatch: writing snapshot %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, key)); err != nil {
+		return fmt.Errorf("dispatch: committing snapshot %s: %w", key, err)
+	}
+	return nil
+}
 
 // OpenStore resolves a -store flag value to a backend: http(s) URLs open an
 // ObjectStore client, anything else is a sweep directory. Locations that

@@ -22,6 +22,7 @@ import (
 	"clgp/internal/isa"
 	"clgp/internal/memory"
 	"clgp/internal/prebuffer"
+	"clgp/internal/snap"
 	"clgp/internal/stats"
 )
 
@@ -98,6 +99,16 @@ type Engine interface {
 
 	// CollectStats adds the engine's counters to a results record.
 	CollectStats(r *stats.Results)
+
+	// AddLiveRequests registers the engine's in-flight memory requests with
+	// a snapshot identity table (see internal/memory's ReqSet).
+	AddLiveRequests(s *memory.ReqSet)
+	// SaveState serialises the engine's mutable state into a snapshot
+	// payload; request pointers are written as identity-table IDs.
+	SaveState(e *snap.Encoder, s *memory.ReqSet)
+	// LoadState restores state saved by SaveState into an engine built from
+	// the same configuration, resolving request IDs through s.
+	LoadState(d *snap.Decoder, s *memory.ReqSet)
 }
 
 // Config carries the parameters shared by all engines.

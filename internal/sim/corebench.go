@@ -75,6 +75,36 @@ type GridFusedRecord struct {
 	AllocsPerKCycle float64 `json:"allocs_per_kcycle"`
 }
 
+// GridSnapshotRecord is the warm-state snapshot measurement: one grid run
+// twice over the same workload — once cold with an empty snapshot store
+// (every point simulates its full warm-up and publishes a snapshot, so the
+// recording overhead is charged honestly) and once warm (every point restores
+// and simulates only its measurement interval). Warm-up is half the run, so
+// the warm pass does roughly half the simulation work; both passes are serial
+// over bit-identical results, making the speedup a machine-independent
+// property of the code.
+type GridSnapshotRecord struct {
+	// Profile is the workload the grid sweeps.
+	Profile string `json:"profile"`
+	// Points is the number of grid points (each with its own warm key).
+	Points int `json:"points"`
+	// Insts and Warmup are the per-run trace length and warm-up boundary in
+	// committed instructions (Warmup = Insts/2: warm-up dominates).
+	Insts  int `json:"insts"`
+	Warmup int `json:"warmup"`
+	// Cycles is the aggregate simulated cycles across the grid (identical in
+	// both passes — restored runs are bit-identical by contract).
+	Cycles uint64 `json:"cycles"`
+	// ColdCyclesPerSec and WarmCyclesPerSec are aggregate throughputs of the
+	// recording and restoring passes.
+	ColdCyclesPerSec float64 `json:"cold_cycles_per_sec"`
+	WarmCyclesPerSec float64 `json:"warm_cycles_per_sec"`
+	// SpeedupVsCold is cold wall time / warm wall time.
+	SpeedupVsCold float64 `json:"speedup_vs_cold"`
+	// SnapshotBytes is the total size of the published snapshot artifacts.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+}
+
 // CoreBench is the BENCH_core.json artifact: the perf contract of the cycle
 // engine, gated in CI against the committed baseline.
 type CoreBench struct {
@@ -91,6 +121,9 @@ type CoreBench struct {
 	// GridFused is the sweep-fusion measurement (nil in artifacts written
 	// before lane fusion existed).
 	GridFused *GridFusedRecord `json:"grid_fused,omitempty"`
+	// GridSnapshot is the warm-state snapshot measurement (nil in artifacts
+	// written before snapshots existed).
+	GridSnapshot *GridSnapshotRecord `json:"grid_snapshot,omitempty"`
 }
 
 // CoreBenchProfiles is the default measurement grid: two front-end-bound
@@ -311,6 +344,128 @@ func MeasureFusedGrid(profile string, insts int, seed int64) (*GridFusedRecord, 
 	return gf, nil
 }
 
+// snapshotGridJobs builds the snapshot measurement grid: all four engines
+// over two L1 sizes, every point with its own warm key, all sharing one
+// in-memory workload.
+func snapshotGridJobs(w *workload.Workload, warmup int, store SnapshotStore) []Job {
+	jobs := SweepJobs(w, cacti.Tech90,
+		[]int{1 << 10, 2 << 10},
+		[]core.EngineKind{core.EngineNone, core.EngineNextN, core.EngineFDP, core.EngineCLGP},
+		false, 0)
+	for i := range jobs {
+		jobs[i].Warmup = warmup
+		jobs[i].Snapshots = store
+	}
+	return jobs
+}
+
+// MeasureSnapshotGrid measures the GridSnapshot record: one profile's grid
+// run cold (empty store: full warm-up plus snapshot recording) and warm
+// (restore, simulate only the measurement interval), both serial, best of
+// three reps each. Warm-up is half the run by construction. It fails if
+// either pass's results differ from a plain snapshot-less run — the speedup
+// is only meaningful over bit-identical work.
+func MeasureSnapshotGrid(profile string, insts int, seed int64) (*GridSnapshotRecord, error) {
+	if insts <= 0 {
+		insts = 200_000
+	}
+	warmup := insts / 2
+	p, err := workload.ProfileByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workload.Generate(p, insts, seed)
+	if err != nil {
+		return nil, err
+	}
+	plainJobs := snapshotGridJobs(w, 0, nil)
+	rn := Runner{Workers: 1}
+	plain := rn.Run(plainJobs)
+	for i, r := range plain {
+		if r.Err != nil {
+			return nil, fmt.Errorf("snapshot grid %s: plain run: %w", plainJobs[i].Name, r.Err)
+		}
+	}
+	check := func(pass string, res []Result) error {
+		for i, r := range res {
+			if r.Err != nil {
+				return fmt.Errorf("snapshot grid %s: %s pass: %w", plainJobs[i].Name, pass, r.Err)
+			}
+			if !reflect.DeepEqual(r.Stats.WithoutTelemetry(), plain[i].Stats.WithoutTelemetry()) {
+				return fmt.Errorf("snapshot grid %s: %s pass diverges from the plain run — equivalence broken",
+					plainJobs[i].Name, pass)
+			}
+		}
+		return nil
+	}
+
+	var coldWall, warmWall time.Duration
+	var snapBytes int64
+	for rep := 0; rep < 3; rep++ {
+		dir, err := os.MkdirTemp("", "clgp-snap-bench")
+		if err != nil {
+			return nil, err
+		}
+		jobs := snapshotGridJobs(w, warmup, DirSnapshots{Dir: dir})
+
+		start := time.Now()
+		cold := rn.Run(jobs)
+		wall := time.Since(start)
+		if err := check("cold", cold); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		if coldWall == 0 || wall < coldWall {
+			coldWall = wall
+		}
+
+		start = time.Now()
+		warm := rn.Run(jobs)
+		wall = time.Since(start)
+		if err := check("warm", warm); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		if warmWall == 0 || wall < warmWall {
+			warmWall = wall
+		}
+
+		if rep == 0 {
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			if len(ents) != len(jobs) {
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("snapshot grid: cold pass published %d artifacts for %d points", len(ents), len(jobs))
+			}
+			for _, e := range ents {
+				if info, err := e.Info(); err == nil {
+					snapBytes += info.Size()
+				}
+			}
+		}
+		os.RemoveAll(dir)
+	}
+	var cycles uint64
+	for _, r := range plain {
+		cycles += r.Stats.Cycles
+	}
+	gs := &GridSnapshotRecord{
+		Profile:          profile,
+		Points:           len(plainJobs),
+		Insts:            insts,
+		Warmup:           warmup,
+		Cycles:           cycles,
+		ColdCyclesPerSec: float64(cycles) / coldWall.Seconds(),
+		WarmCyclesPerSec: float64(cycles) / warmWall.Seconds(),
+		SnapshotBytes:    snapBytes,
+	}
+	gs.SpeedupVsCold = coldWall.Seconds() / warmWall.Seconds()
+	return gs, nil
+}
+
 // WriteCoreBench writes the artifact as indented JSON.
 func WriteCoreBench(path string, cb *CoreBench) error {
 	data, err := json.MarshalIndent(cb, "", "  ")
@@ -370,11 +525,20 @@ type GateLimits struct {
 	// costs real throughput, not to claim a multiple this cost profile
 	// can't produce.
 	MinFusedSpeedup float64
+	// MinSnapshotSpeedup is the floor on the grid_snapshot record's
+	// SpeedupVsCold. The warm pass simulates half the instructions of the
+	// cold pass (warm-up is Insts/2), so the work ratio alone predicts ~2x;
+	// restore/deserialisation overhead and the non-linearity of warm-up
+	// cycles vs measurement cycles eat into it. 1.2 is the honest floor: if
+	// restoring is not at least 20% faster than re-simulating a
+	// warm-up-dominated grid, the snapshot path has regressed into
+	// pointlessness.
+	MinSnapshotSpeedup float64
 }
 
 // DefaultGateLimits returns the limits CI enforces.
 func DefaultGateLimits() GateLimits {
-	return GateLimits{MaxRegress: 0.10, NoiseNs: 8, MinMissHeavySpeedup: 1.6, MinSpeedup: 0.95, MaxAllocsPerKCycle: 1.0, MinFusedSpeedup: 0.95}
+	return GateLimits{MaxRegress: 0.10, NoiseNs: 8, MinMissHeavySpeedup: 1.6, MinSpeedup: 0.95, MaxAllocsPerKCycle: 1.0, MinFusedSpeedup: 0.95, MinSnapshotSpeedup: 1.2}
 }
 
 // missHeavy reports whether a profile is one of the pointer-chase grid
@@ -452,6 +616,15 @@ func Gate(baseline, current *CoreBench, lim GateLimits) []string {
 		}
 	case baseline != nil && baseline.GridFused != nil:
 		bad = append(bad, "grid_fused: present in baseline but not measured")
+	}
+	switch gs := current.GridSnapshot; {
+	case gs != nil:
+		if gs.SpeedupVsCold < lim.MinSnapshotSpeedup {
+			bad = append(bad, fmt.Sprintf("grid_snapshot/%s: warm-restore speedup %.2fx below the %.2fx floor over cold warm-up",
+				gs.Profile, gs.SpeedupVsCold, lim.MinSnapshotSpeedup))
+		}
+	case baseline != nil && baseline.GridSnapshot != nil:
+		bad = append(bad, "grid_snapshot: present in baseline but not measured")
 	}
 	for name := range base {
 		found := false

@@ -180,3 +180,48 @@ func TestMeasureFusedGridSmoke(t *testing.T) {
 	// No throughput assertion at this trace length — construction cost
 	// dominates 8k-inst runs; the bench gate holds the floor at full length.
 }
+
+func TestGateEnforcesSnapshotFloor(t *testing.T) {
+	base, cur := gateFixture(), gateFixture()
+	base.GridSnapshot = &GridSnapshotRecord{Profile: "gcc", Points: 8, SpeedupVsCold: 1.8}
+	cur.GridSnapshot = &GridSnapshotRecord{Profile: "gcc", Points: 8, SpeedupVsCold: 1.05}
+	bad := Gate(base, cur, DefaultGateLimits())
+	if len(bad) != 1 || !strings.Contains(bad[0], "grid_snapshot/gcc") {
+		t.Fatalf("expected one snapshot-floor violation, got %v", bad)
+	}
+
+	// Dropping the measurement while the baseline carries one must fail.
+	cur.GridSnapshot = nil
+	bad = Gate(base, cur, DefaultGateLimits())
+	if len(bad) != 1 || !strings.Contains(bad[0], "not measured") {
+		t.Fatalf("expected a missing-grid_snapshot violation, got %v", bad)
+	}
+
+	// A pre-snapshot baseline gates a snapshot measurement without complaint.
+	base.GridSnapshot = nil
+	cur.GridSnapshot = &GridSnapshotRecord{Profile: "gcc", Points: 8, SpeedupVsCold: 1.8}
+	if bad := Gate(base, cur, DefaultGateLimits()); len(bad) != 0 {
+		t.Fatalf("pre-snapshot baseline should not trip the gate, got %v", bad)
+	}
+}
+
+func TestMeasureSnapshotGridSmoke(t *testing.T) {
+	gs, err := MeasureSnapshotGrid("gcc", 8_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Points != 8 {
+		t.Errorf("measured %d points, want the 8-config grid", gs.Points)
+	}
+	if gs.Warmup != gs.Insts/2 {
+		t.Errorf("warm-up %d is not half of %d insts", gs.Warmup, gs.Insts)
+	}
+	if gs.Cycles == 0 || gs.ColdCyclesPerSec <= 0 || gs.WarmCyclesPerSec <= 0 || gs.SpeedupVsCold <= 0 {
+		t.Errorf("degenerate measurement: %+v", gs)
+	}
+	if gs.SnapshotBytes == 0 {
+		t.Error("cold pass published no snapshot bytes")
+	}
+	// No throughput assertion at this trace length — construction cost
+	// dominates 8k-inst runs; the bench gate holds the floor at full length.
+}

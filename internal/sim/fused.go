@@ -113,6 +113,16 @@ func (rn Runner) runFusedBatch(jobs []Job, positions []int, results []Result) {
 		fail(fmt.Errorf("sim: fused batch has no workload"))
 		return
 	}
+	for _, i := range positions {
+		if jobs[i].Warmup > 0 && jobs[i].Snapshots != nil {
+			// Lanes share one decode stream positioned at the slowest lane's
+			// frontier; restoring lanes to different mid-run points is
+			// incompatible with lockstep fusion. Sweep drivers choose one
+			// mechanism per batch.
+			fail(fmt.Errorf("sim: warm-state snapshots cannot be combined with fused execution"))
+			return
+		}
+	}
 	src, cleanup, err := first.traceSource()
 	if err != nil {
 		fail(err)

@@ -47,6 +47,13 @@ type Job struct {
 	// Window caps the resident records of a streamed trace
 	// (0 = trace.DefaultWindowCap). Ignored without TraceFile.
 	Window int
+	// Warmup is the warm-up boundary in committed instructions. With a
+	// Snapshots store attached, the run restores the shared warm-state
+	// snapshot when one exists, or simulates through warm-up once and
+	// publishes it for the rest of the grid. 0 disables snapshotting.
+	Warmup int
+	// Snapshots is the snapshot store used with Warmup (nil disables).
+	Snapshots SnapshotStore
 }
 
 // Result is the outcome of one job.
@@ -149,6 +156,12 @@ func runOne(j Job) Result {
 	eng, err := core.NewEngine(j.Config, j.Workload.Dict, src)
 	if err != nil {
 		return Result{Name: name, Err: err}
+	}
+	if j.Warmup > 0 && j.Snapshots != nil {
+		eng, err = j.WarmStart(eng, src)
+		if err != nil {
+			return Result{Name: name, Err: err}
+		}
 	}
 	st, err := eng.Run()
 	if err != nil {

@@ -1,0 +1,195 @@
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func testMeta() Meta {
+	return Meta{
+		Workload:    "gcc",
+		Fingerprint: 0xdeadbeefcafe0123,
+		WarmKey:     0x0123456789abcdef,
+		TraceLen:    200_000,
+		Committed:   100_000,
+		Cycle:       412_345,
+	}
+}
+
+func testContainer() []byte {
+	var e Encoder
+	e.Tag(0x54534554)
+	e.U64(42)
+	e.String("payload")
+	e.Bool(true)
+	return Seal(testMeta(), e.Bytes())
+}
+
+func TestSealOpenRoundtrip(t *testing.T) {
+	data := testContainer()
+	m, payload, err := Open(data)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if m != testMeta() {
+		t.Errorf("meta roundtrip: got %+v, want %+v", m, testMeta())
+	}
+	d := NewDecoder(payload)
+	d.Tag(0x54534554)
+	if v := d.U64(); v != 42 {
+		t.Errorf("u64 roundtrip: got %d", v)
+	}
+	if s := d.String(); s != "payload" {
+		t.Errorf("string roundtrip: got %q", s)
+	}
+	if !d.Bool() {
+		t.Error("bool roundtrip: got false")
+	}
+	if d.Err() != nil {
+		t.Errorf("decoder error: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("%d trailing payload bytes", d.Remaining())
+	}
+}
+
+// TestOpenRejectsEveryTruncation feeds Open every strict prefix of a valid
+// container: all must fail, none may panic.
+func TestOpenRejectsEveryTruncation(t *testing.T) {
+	data := testContainer()
+	for n := 0; n < len(data); n++ {
+		if _, _, err := Open(data[:n]); err == nil {
+			t.Errorf("accepted a %d-byte prefix of a %d-byte container", n, len(data))
+		}
+	}
+}
+
+// TestOpenRejectsEveryByteFlip flips each byte of a valid container in turn:
+// magic damage must surface as ErrBadMagic, version damage as ErrBadVersion,
+// anything else as a checksum failure.
+func TestOpenRejectsEveryByteFlip(t *testing.T) {
+	data := testContainer()
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x5a
+		_, _, err := Open(mut)
+		switch {
+		case err == nil:
+			t.Fatalf("accepted container with byte %d flipped", i)
+		case i < 4 && !errors.Is(err, ErrBadMagic):
+			t.Errorf("magic byte %d flip: got %v, want ErrBadMagic", i, err)
+		case i >= 4 && i < 8 && !errors.Is(err, ErrBadVersion):
+			t.Errorf("version byte %d flip: got %v, want ErrBadVersion", i, err)
+		case i >= 8 && !errors.Is(err, ErrCorrupt):
+			t.Errorf("byte %d flip: got %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+// TestOpenRejectsFutureVersion re-seals a container with a bumped version and
+// a recomputed (valid) checksum: the version pin must still reject it.
+func TestOpenRejectsFutureVersion(t *testing.T) {
+	data := append([]byte(nil), testContainer()...)
+	binary.LittleEndian.PutUint32(data[4:], Version+1)
+	body := data[:len(data)-4]
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.Checksum(body, castagnoliTable))
+	if _, _, err := Open(data); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("future version: got %v, want ErrBadVersion", err)
+	}
+}
+
+// TestOpenRejectsPayloadLengthLie corrupts the payload length field and
+// re-seals with a valid checksum: the length/framing cross-check must catch
+// the disagreement.
+func TestOpenRejectsPayloadLengthLie(t *testing.T) {
+	data := testContainer()
+	// The payload length sits after magic, version and the length-prefixed
+	// meta block.
+	metaLen := binary.LittleEndian.Uint32(data[8:])
+	off := 8 + 4 + int(metaLen)
+	mut := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(mut[off:], binary.LittleEndian.Uint64(mut[off:])+1)
+	body := mut[:len(mut)-4]
+	binary.LittleEndian.PutUint32(mut[len(mut)-4:], crc32.Checksum(body, castagnoliTable))
+	if _, _, err := Open(mut); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("payload length lie: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecoderStrictness(t *testing.T) {
+	t.Run("bool", func(t *testing.T) {
+		d := NewDecoder([]byte{2})
+		d.Bool()
+		if d.Err() == nil {
+			t.Error("bool byte 2 accepted")
+		}
+	})
+	t.Run("tag", func(t *testing.T) {
+		var e Encoder
+		e.Tag(1)
+		d := NewDecoder(e.Bytes())
+		d.Tag(2)
+		if d.Err() == nil {
+			t.Error("tag mismatch accepted")
+		}
+	})
+	t.Run("count", func(t *testing.T) {
+		var e Encoder
+		e.Int(1000)
+		d := NewDecoder(e.Bytes())
+		if n := d.Count(10); n != 0 || d.Err() == nil {
+			t.Errorf("count over limit: got %d, err %v", n, d.Err())
+		}
+		var neg Encoder
+		neg.Int(-1)
+		d = NewDecoder(neg.Bytes())
+		if n := d.Count(10); n != 0 || d.Err() == nil {
+			t.Errorf("negative count: got %d, err %v", n, d.Err())
+		}
+	})
+	t.Run("sticky", func(t *testing.T) {
+		d := NewDecoder(nil)
+		d.U64() // latches truncation
+		first := d.Err()
+		if first == nil {
+			t.Fatal("read past end did not latch")
+		}
+		d.Failf("later failure")
+		if d.Err() != first {
+			t.Error("later Failf replaced the first latched error")
+		}
+		if d.U32() != 0 || d.String() != "" || d.Bool() {
+			t.Error("reads after a latched error returned non-zero values")
+		}
+	})
+	t.Run("raw-huge-length", func(t *testing.T) {
+		var e Encoder
+		e.U32(1 << 30) // length prefix far beyond the data
+		d := NewDecoder(e.Bytes())
+		if b := d.Raw(); b != nil || d.Err() == nil {
+			t.Error("oversized raw length accepted")
+		}
+	})
+}
+
+// FuzzSnapshotOpen asserts Open never panics and never claims success on
+// malformed containers that fail its own framing invariants.
+func FuzzSnapshotOpen(f *testing.F) {
+	f.Add(testContainer())
+	f.Add([]byte{})
+	f.Add([]byte("CLGS"))
+	trunc := testContainer()
+	f.Add(trunc[:len(trunc)-5])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, payload, err := Open(data)
+		if err != nil {
+			return
+		}
+		// A container Open accepts must re-seal to the identical bytes.
+		if got := Seal(m, payload); string(got) != string(data) {
+			t.Errorf("accepted container does not round-trip: %d bytes in, %d out", len(data), len(got))
+		}
+	})
+}
